@@ -1,0 +1,104 @@
+// Ablation A4 — coarse allocator choice: buddy system vs atomic bump
+// pointer (Vinkler & Havran, §2.2).
+//
+// The bump allocator is the throughput upper bound (one fetch_add per
+// malloc) but cannot reclaim under churn; the buddy trades some rate for
+// bounded external fragmentation. Protocol: alloc/free churn with a small
+// live set and one pinned allocation, probing the largest allocatable
+// block as fragmentation evolves.
+#include <cinttypes>
+#include <memory>
+
+#include "alloc/tbuddy.hpp"
+#include "baseline/bump_alloc.hpp"
+#include "common/harness.hpp"
+
+namespace toma::bench {
+namespace {
+
+constexpr std::size_t kPoolBytes = 64u << 20;
+
+struct Out {
+  double rate;         // churn ops/s
+  double frag_pct;     // 100 * (1 - largest_free/free_bytes_expected)
+  std::uint64_t fails; // failed allocations during the churn
+};
+
+template <typename A>
+Out run(gpu::Device& dev, const Options& opt, A& alloc_obj,
+        std::uint64_t threads, int rounds) {
+  auto fails = std::make_shared<std::atomic<std::uint64_t>>(0);
+  const double secs = time_launch(
+      dev, threads, opt.block_sizes.front(),
+      [&alloc_obj, fails, threads, rounds](gpu::ThreadCtx& t) {
+        if (t.global_rank() >= threads) return;
+        auto& rng = t.rng();
+        for (int i = 0; i < rounds; ++i) {
+          const std::size_t size = std::size_t{4096}
+                                   << rng.next_below(3);  // 4..16 KB
+          void* p = alloc_obj.malloc(size);
+          if (p == nullptr) {
+            fails->fetch_add(1, std::memory_order_relaxed);
+            continue;
+          }
+          t.yield();
+          alloc_obj.free(p);
+        }
+      });
+  const double expected_free = static_cast<double>(kPoolBytes) - 4096.0;
+  Out out{};
+  out.rate = static_cast<double>(threads) * rounds / secs;
+  out.frag_pct = 100.0 * (1.0 - static_cast<double>(
+                                    alloc_obj.largest_free_block()) /
+                                    expected_free);
+  out.fails = fails->load();
+  return out;
+}
+
+int main_impl(int argc, char** argv) {
+  const Options opt = Options::parse(argc, argv);
+  gpu::Device dev(opt.device_config());
+  const std::uint64_t threads = opt.quick ? 2048 : 8192;
+  const int rounds = 4;
+
+  util::Table table("Ablation A4: TBuddy vs bump allocator under churn");
+  table.set_header({"allocator", "churn ops/s", "failed allocs",
+                    "largest-block frag %"});
+
+  {
+    void* pool = std::aligned_alloc(kPoolBytes, kPoolBytes);
+    alloc::TBuddy buddy(pool, kPoolBytes);
+    // A pinned allocation forces the allocator to work around it.
+    void* pin = buddy.allocate(0);
+    struct Adapter {
+      alloc::TBuddy& b;
+      void* malloc(std::size_t s) { return b.allocate_bytes(s); }
+      void free(void* p) { b.free(p); }
+      std::size_t largest_free_block() const { return b.largest_free_block(); }
+    } adapter{buddy};
+    const Out o = run(dev, opt, adapter, threads, rounds);
+    table.add("tbuddy", o.rate, o.fails, o.frag_pct);
+    std::printf("  tbuddy: %s ops/s, %" PRIu64 " fails, %.2f%% frag\n",
+                util::eng_format(o.rate).c_str(), o.fails, o.frag_pct);
+    buddy.free(pin);
+    std::free(pool);
+  }
+  {
+    void* pool = std::aligned_alloc(4096, kPoolBytes);
+    baseline::BumpAllocator bump(pool, kPoolBytes);
+    void* pin = bump.malloc(4096);
+    const Out o = run(dev, opt, bump, threads, rounds);
+    table.add("bump", o.rate, o.fails, o.frag_pct);
+    std::printf("  bump:   %s ops/s, %" PRIu64 " fails, %.2f%% frag\n",
+                util::eng_format(o.rate).c_str(), o.fails, o.frag_pct);
+    bump.free(pin);
+    std::free(pool);
+  }
+  finish_table(opt, table);
+  return 0;
+}
+
+}  // namespace
+}  // namespace toma::bench
+
+int main(int argc, char** argv) { return toma::bench::main_impl(argc, argv); }

@@ -1,0 +1,84 @@
+// Ablation A2 — collective mutex vs plain mutex for group critical
+// sections (§4.2.2).
+//
+// Workload mirrors the paper's chunk-allocation example: every thread of a
+// warp must perform one list operation under the mutex. With a plain
+// mutex the operations serialize one-by-one; with a collective mutex the
+// warp coalesces, acquires once, and its members work in parallel inside
+// the critical section (each member handling the element at its rank).
+#include <cinttypes>
+#include <memory>
+
+#include "common/harness.hpp"
+#include "sync/collective_mutex.hpp"
+
+namespace toma::bench {
+namespace {
+
+constexpr int kListWork = 64;  // elements touched per critical section
+
+double run(gpu::Device& dev, const Options& opt, std::uint64_t threads,
+           bool collective) {
+  auto mu = std::make_shared<sync::CollectiveMutex>();
+  auto work = std::make_shared<std::vector<std::uint64_t>>(4096, 1);
+  auto sink = std::make_shared<std::atomic<std::uint64_t>>(0);
+  const std::uint32_t block = opt.block_sizes.front();
+  return time_launch(
+      dev, threads, block,
+      [mu, work, sink, threads, collective](gpu::ThreadCtx& t) {
+        if (t.global_rank() >= threads) return;
+        std::uint64_t acc = 0;
+        // The yield inside each critical section models its serialized
+        // memory latency; without it a cooperative critical section is
+        // never observed held and both variants are artificially free
+        // (see EXPERIMENTS.md cost-model notes).
+        if (collective) {
+          gpu::CoalescedGroup g = gpu::coalesce_warp(t, mu.get());
+          sync::CollectiveLockGuard lock(*mu, g);
+          // Members partition the walk by rank: the whole group's work
+          // (including its latency) overlaps inside ONE acquisition.
+          t.yield();
+          for (int i = g.rank(); i < kListWork; i += g.size()) {
+            acc += (*work)[(t.global_rank() + i) % work->size()];
+          }
+        } else {
+          mu->lock();
+          t.yield();
+          for (int i = 0; i < kListWork; ++i) {
+            acc += (*work)[(t.global_rank() + i) % work->size()];
+          }
+          mu->unlock();
+        }
+        sink->fetch_add(acc, std::memory_order_relaxed);
+      });
+}
+
+int main_impl(int argc, char** argv) {
+  const Options opt = Options::parse(argc, argv);
+  gpu::Device dev(opt.device_config());
+  std::vector<std::uint64_t> counts =
+      opt.quick ? std::vector<std::uint64_t>{1024, 4096}
+                : std::vector<std::uint64_t>{1024, 4096, 16384, 65536};
+
+  util::Table table("Ablation A2: collective vs plain mutex, group work");
+  table.set_header(
+      {"threads", "plain (crit-secs/s)", "collective (crit-secs/s)",
+       "collective speedup"});
+  for (std::uint64_t n : counts) {
+    const double tp = run(dev, opt, n, false);
+    const double tc = run(dev, opt, n, true);
+    const double rp = static_cast<double>(n) / tp;
+    const double rc = static_cast<double>(n) / tc;
+    table.add(n, rp, rc, rc / rp);
+    std::printf("  threads=%" PRIu64 " plain=%s/s collective=%s/s x%.2f\n",
+                n, util::eng_format(rp).c_str(), util::eng_format(rc).c_str(),
+                rc / rp);
+  }
+  finish_table(opt, table);
+  return 0;
+}
+
+}  // namespace
+}  // namespace toma::bench
+
+int main(int argc, char** argv) { return toma::bench::main_impl(argc, argv); }

@@ -1,0 +1,78 @@
+// Ablation A1 — scattered vs leftmost-first tree descent in TBuddy.
+//
+// The paper borrows ScatterAlloc's hashing idea to scatter concurrent
+// searches (§2.2): without it, every thread descends the same path and
+// collides on the same Available node, converting parallel claims into a
+// retry storm. Workload: a same-order allocation storm (every thread
+// allocates one 4 KB page into a pool with plenty of space), then frees.
+#include <cinttypes>
+#include <memory>
+
+#include "alloc/tbuddy.hpp"
+#include "common/harness.hpp"
+
+namespace toma::bench {
+namespace {
+
+struct RunOut {
+  double secs;
+  std::uint64_t retries;
+};
+
+RunOut run(gpu::Device& dev, const Options& opt, std::uint64_t threads,
+           bool scatter) {
+  const std::size_t pool_bytes = 64u << 20;  // 16K pages
+  void* pool = std::aligned_alloc(pool_bytes, pool_bytes);
+  auto buddy = std::make_unique<alloc::TBuddy>(pool, pool_bytes);
+  buddy->set_scatter(scatter);
+  // One scheduling point per level: the dependent node-state reads of a
+  // real descent. Without it cooperative descents are atomic and never
+  // collide, hiding what scattering exists to fix (EXPERIMENTS.md).
+  buddy->set_descent_latency(1);
+  auto slots =
+      std::make_shared<std::vector<std::atomic<void*>>>(threads);
+  const std::uint32_t block = opt.block_sizes.front();
+  RunOut out{};
+  out.secs = time_launch(dev, threads, block,
+                         [&buddy, slots, threads](gpu::ThreadCtx& t) {
+                           if (t.global_rank() >= threads) return;
+                           (*slots)[t.global_rank()].store(
+                               buddy->allocate(0));
+                         });
+  out.retries = buddy->stats().descent_retries;
+  for (auto& s : *slots) {
+    if (void* p = s.load()) buddy->free(p);
+  }
+  buddy.reset();
+  std::free(pool);
+  return out;
+}
+
+int main_impl(int argc, char** argv) {
+  const Options opt = Options::parse(argc, argv);
+  gpu::Device dev(opt.device_config());
+  std::vector<std::uint64_t> counts =
+      opt.quick ? std::vector<std::uint64_t>{1024, 4096}
+                : std::vector<std::uint64_t>{1024, 4096, 8192, 12288};
+
+  util::Table table("Ablation A1: TBuddy scattered vs leftmost descent");
+  table.set_header({"threads", "leftmost (ops/s)", "lm retries",
+                    "scattered (ops/s)", "sc retries", "scatter speedup"});
+  for (std::uint64_t n : counts) {
+    const RunOut lm = run(dev, opt, n, false);
+    const RunOut sc = run(dev, opt, n, true);
+    const double rl = static_cast<double>(n) / lm.secs;
+    const double rs = static_cast<double>(n) / sc.secs;
+    table.add(n, rl, lm.retries, rs, sc.retries, rs / rl);
+    std::printf("  threads=%" PRIu64 " leftmost=%s/s scattered=%s/s x%.2f\n",
+                n, util::eng_format(rl).c_str(), util::eng_format(rs).c_str(),
+                rs / rl);
+  }
+  finish_table(opt, table);
+  return 0;
+}
+
+}  // namespace
+}  // namespace toma::bench
+
+int main(int argc, char** argv) { return toma::bench::main_impl(argc, argv); }

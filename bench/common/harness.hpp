@@ -1,0 +1,115 @@
+// Shared machinery for the figure-reproduction benchmarks.
+//
+// Every bench binary:
+//   * accepts --quick (shrink sweep for smoke runs), --full (paper-scale
+//     sweep), --csv=PATH (machine-readable copy), --blocks=N (thread-block
+//     size; default sweeps a small set and averages, as the paper
+//     averages over block sizes 1..1024);
+//   * prints an ASCII table with the same rows/series the paper plots.
+//
+// Throughput numbers are simulator-absolute (one CPU core driving fibers),
+// so EXPERIMENTS.md compares *shapes and ratios* against the paper, never
+// absolute rates.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "gpusim/gpusim.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+
+namespace toma::bench {
+
+struct Options {
+  bool quick = false;
+  bool full = false;
+  std::string csv_path;
+  std::vector<std::uint32_t> block_sizes = {64, 256, 1024};
+  std::uint32_t num_sms = 8;
+  std::uint32_t threads_per_sm = 2048;
+  std::uint32_t workers = 1;
+
+  static Options parse(int argc, char** argv) {
+    Options o;
+    for (int i = 1; i < argc; ++i) {
+      const char* a = argv[i];
+      if (std::strcmp(a, "--quick") == 0) {
+        o.quick = true;
+      } else if (std::strcmp(a, "--full") == 0) {
+        o.full = true;
+      } else if (std::strncmp(a, "--csv=", 6) == 0) {
+        o.csv_path = a + 6;
+      } else if (std::strncmp(a, "--blocks=", 9) == 0) {
+        o.block_sizes = {static_cast<std::uint32_t>(std::atoi(a + 9))};
+      } else if (std::strncmp(a, "--sms=", 6) == 0) {
+        o.num_sms = static_cast<std::uint32_t>(std::atoi(a + 6));
+      } else if (std::strncmp(a, "--workers=", 10) == 0) {
+        o.workers = static_cast<std::uint32_t>(std::atoi(a + 10));
+      } else {
+        std::fprintf(stderr,
+                     "usage: %s [--quick|--full] [--csv=PATH] [--blocks=N] "
+                     "[--sms=N] [--workers=N]\n",
+                     argv[0]);
+        std::exit(2);
+      }
+    }
+    return o;
+  }
+
+  gpu::DeviceConfig device_config() const {
+    gpu::DeviceConfig cfg;
+    cfg.num_sms = num_sms;
+    cfg.max_threads_per_sm = threads_per_sm;
+    cfg.num_workers = workers;
+    return cfg;
+  }
+};
+
+/// Populate the device's fiber-stack pool (and warm scheduler paths) so a
+/// timed launch does not pay one mmap+mprotect per logical thread. Call
+/// before the first timed launch at a given residency.
+inline void warm_device(gpu::Device& dev, std::uint64_t threads,
+                        std::uint32_t block) {
+  dev.launch_linear(threads, block, [](gpu::ThreadCtx&) {});
+}
+
+/// Wall-clock seconds of one synchronous grid launch (device pre-warmed).
+inline double time_launch(gpu::Device& dev, std::uint64_t threads,
+                          std::uint32_t block, const gpu::Kernel& k) {
+  warm_device(dev, threads, block);
+  const auto t0 = std::chrono::steady_clock::now();
+  dev.launch_linear(threads, block, k);
+  const auto t1 = std::chrono::steady_clock::now();
+  return std::chrono::duration<double>(t1 - t0).count();
+}
+
+/// Launch once per configured block size and return the mean seconds
+/// (the paper averages execution time across block sizes).
+template <typename MakeKernel>
+double mean_time_over_blocks(gpu::Device& dev, const Options& opt,
+                             std::uint64_t threads, MakeKernel&& make) {
+  util::RunningStats s;
+  for (std::uint32_t b : opt.block_sizes) {
+    gpu::Kernel k = make();
+    s.add(time_launch(dev, threads, b, k));
+  }
+  return s.mean();
+}
+
+inline void finish_table(const Options& opt, util::Table& table) {
+  table.print();
+  if (!opt.csv_path.empty()) {
+    if (table.write_csv(opt.csv_path)) {
+      std::printf("csv written to %s\n", opt.csv_path.c_str());
+    } else {
+      std::fprintf(stderr, "failed to write %s\n", opt.csv_path.c_str());
+    }
+  }
+}
+
+}  // namespace toma::bench

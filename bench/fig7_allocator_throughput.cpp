@@ -1,0 +1,181 @@
+// Figure 7 — Allocation throughput of the CUDA system allocator (stand-in:
+// baseline::SerialHeapAllocator) vs our allocator, across allocation sizes
+// 8 B .. 512 KB, with the failed-allocation fraction reported (the paper's
+// gray bar; failures are the fragmentation probe, since the thread count
+// is sized to exhaust the pool exactly).
+//
+// Paper protocol (§5.3): every thread performs a single malloc of a fixed
+// size; the number of threads is pool/size, so with zero fragmentation no
+// allocation fails and no memory remains. Pool: 8 MB at 8 B, growing to
+// 512 MB at 512 B, then fixed at 512 MB with fewer threads. We scale the
+// pool (default 1/8 of paper scale; --full = paper scale) to keep runtime
+// sane on a single-core simulator host.
+//
+// Expected shape (paper): ours wins by 1-2 orders of magnitude for UAlloc
+// sizes (8 B..1 KB); 2 KB is our degenerate case (rounds to 4 KB, ~50%
+// failures); for buddy-handled sizes (>= 4 KB) our rate is roughly flat
+// and the baseline can win at some sizes; our failure rate is ~0 for
+// >= 4 KB, moderate at 512 B..2 KB (header overhead), small below that.
+#include <cinttypes>
+#include <memory>
+#include <vector>
+
+#include "alloc/alloc.hpp"
+#include "baseline/scatter_alloc.hpp"
+#include "baseline/serial_heap.hpp"
+#include "common/harness.hpp"
+
+namespace toma::bench {
+namespace {
+
+struct SizeCase {
+  std::size_t alloc_size;
+  std::size_t pool_bytes;
+  std::uint64_t threads;
+};
+
+std::vector<SizeCase> build_cases(bool full, bool quick) {
+  // Paper: pool 8 MB at 8 B -> 512 MB at 512 B (1M threads each), then
+  // 512 MB fixed, halving the thread count each doubling. We cap the
+  // thread count (and shrink the pool with it, preserving the exact-
+  // exhaustion property the failure metric depends on) because the
+  // serialized baseline runs at a fixed ops-per-round rate: 1M threads
+  // against it would take hours of single-core wall clock. --full uses
+  // paper-exact sizing.
+  const std::size_t pool_cap = full ? (512u << 20) : (64u << 20);
+  const std::uint64_t thread_cap = full ? (1u << 20)
+                                        : (quick ? 32768 : 65536);
+  std::vector<SizeCase> cases;
+  for (std::size_t size = 8; size <= (512u << 10); size *= 2) {
+    std::size_t pool = size << 20;  // 1M threads' worth
+    if (pool > pool_cap) pool = pool_cap;
+    std::uint64_t threads = pool / size;
+    if (threads > thread_cap) {
+      threads = thread_cap;
+      pool = threads * size;  // keep "exactly exhausts the pool"
+    }
+    cases.push_back({size, pool, threads});
+  }
+  return cases;
+}
+
+struct Result {
+  double secs = 0;
+  std::uint64_t attempts = 0;
+  std::uint64_t failures = 0;
+};
+
+template <typename MallocFn>
+Result run_case(gpu::Device& dev, const Options& opt, const SizeCase& c,
+                MallocFn&& do_malloc) {
+  Result r;
+  r.attempts = c.threads;
+  auto failures = std::make_shared<std::atomic<std::uint64_t>>(0);
+  // One launch per configured block size would exhaust the pool several
+  // times; instead run one launch with the first block size (the paper
+  // averages; we note the choice in EXPERIMENTS.md).
+  const std::uint32_t block = opt.block_sizes.front();
+  const std::uint64_t threads = c.threads;
+  gpu::Kernel k = [&do_malloc, failures, threads,
+                   size = c.alloc_size](gpu::ThreadCtx& t) {
+    if (t.global_rank() >= threads) return;
+    void* p = do_malloc(size);
+    if (p == nullptr) failures->fetch_add(1, std::memory_order_relaxed);
+  };
+  r.secs = time_launch(dev, c.threads, block, k);
+  r.failures = failures->load();
+  return r;
+}
+
+int main_impl(int argc, char** argv) {
+  Options opt = Options::parse(argc, argv);
+  // Smaller device by default: the baseline's serialized throughput is
+  // one allocation per scheduling round, and round length scales with
+  // residency — 2 SMs keeps the full sweep within minutes while leaving
+  // the contention profile intact. Override with --sms.
+  if (opt.num_sms == 8) opt.num_sms = 2;
+  gpu::Device dev(opt.device_config());
+
+  util::Table table(
+      "Figure 7: allocation throughput vs size (pool exactly exhausted; "
+      "scatter = ScatterAllocLite research comparator, in-range sizes)");
+  table.set_header({"size", "threads", "cuda-like (ops/s)", "cuda fail%",
+                    "scatter (ops/s)", "scatter fail%", "ours (ops/s)",
+                    "ours fail%", "ours/cuda"});
+
+  for (const SizeCase& c : build_cases(opt.full, opt.quick)) {
+    // --- CUDA-toolkit-allocator stand-in --------------------------------
+    Result base;
+    {
+      auto pool = std::aligned_alloc(4096, c.pool_bytes);
+      auto heap = std::make_unique<baseline::SerialHeapAllocator>(
+          pool, c.pool_bytes);
+      // Contention model: the serialized critical section spans one
+      // scheduling point (its real-world cost is serialized memory
+      // latency); without this a cooperative scheduler never observes
+      // the lock held and the baseline is artificially parallel-free.
+      // See EXPERIMENTS.md, Figure 7 methodology.
+      heap->set_contention_latency(1);
+      base = run_case(dev, opt, c,
+                      [&](std::size_t s) { return heap->malloc(s); });
+      heap.reset();
+      std::free(pool);
+    }
+    // --- ScatterAllocLite (research comparator, sizes <= one page) -------
+    Result scatter;
+    bool scatter_ran = false;
+    if (c.alloc_size <= baseline::ScatterAllocLite::kMaxAlloc) {
+      auto pool = std::aligned_alloc(4096, c.pool_bytes);
+      auto sa = std::make_unique<baseline::ScatterAllocLite>(pool,
+                                                             c.pool_bytes);
+      scatter = run_case(dev, opt, c,
+                         [&](std::size_t s) { return sa->malloc(s); });
+      scatter_ran = true;
+      sa.reset();
+      std::free(pool);
+    }
+    // --- our allocator ---------------------------------------------------
+    Result ours;
+    {
+      auto ga = std::make_unique<alloc::GpuAllocator>(c.pool_bytes,
+                                                      dev.num_sms());
+      ours = run_case(dev, opt, c,
+                      [&](std::size_t s) { return ga->malloc(s); });
+    }
+
+    const double rb = static_cast<double>(base.attempts) / base.secs;
+    const double ro = static_cast<double>(ours.attempts) / ours.secs;
+    const double fb = 100.0 * static_cast<double>(base.failures) /
+                      static_cast<double>(base.attempts);
+    const double fo = 100.0 * static_cast<double>(ours.failures) /
+                      static_cast<double>(ours.attempts);
+    const double rs = scatter_ran
+                          ? static_cast<double>(scatter.attempts) /
+                                scatter.secs
+                          : 0.0;
+    const double fs = scatter_ran
+                          ? 100.0 * static_cast<double>(scatter.failures) /
+                                static_cast<double>(scatter.attempts)
+                          : 0.0;
+    table.add_row({util::eng_format(static_cast<double>(c.alloc_size)) + "B",
+                   std::to_string(c.threads), util::eng_format(rb),
+                   std::to_string(fb).substr(0, 5),
+                   scatter_ran ? util::eng_format(rs) : "-",
+                   scatter_ran ? std::to_string(fs).substr(0, 5) : "-",
+                   util::eng_format(ro), std::to_string(fo).substr(0, 5),
+                   std::to_string(ro / rb).substr(0, 6)});
+    std::printf("  size=%zu threads=%" PRIu64
+                " cuda=%s/s(%0.1f%%) scatter=%s/s(%0.1f%%) "
+                "ours=%s/s(%0.1f%%) ours/cuda=x%.2f\n",
+                c.alloc_size, c.threads, util::eng_format(rb).c_str(), fb,
+                scatter_ran ? util::eng_format(rs).c_str() : "-", fs,
+                util::eng_format(ro).c_str(), fo, ro / rb);
+  }
+  finish_table(opt, table);
+  return 0;
+}
+
+}  // namespace
+}  // namespace toma::bench
+
+int main(int argc, char** argv) { return toma::bench::main_impl(argc, argv); }

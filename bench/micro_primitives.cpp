@@ -1,0 +1,157 @@
+// Micro-benchmarks (google-benchmark) for the individual primitives:
+// op-level costs of the semaphores, mutexes, RCU, bitmap claims and the
+// fiber context switch. These are the building-block costs underlying the
+// figure benches; run with --benchmark_filter=... to select.
+#include <benchmark/benchmark.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <vector>
+
+#include "alloc/alloc.hpp"
+#include "baseline/serial_heap.hpp"
+#include "gpusim/gpusim.hpp"
+#include "sync/sync.hpp"
+#include "util/atomic_bitmap.hpp"
+
+namespace toma {
+namespace {
+
+// ---- semaphores -----------------------------------------------------------
+
+void BM_BulkSemaphoreWaitSignal(benchmark::State& state) {
+  sync::BulkSemaphore sem(1u << 20);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sem.wait(1, 512));
+    sem.signal(1, 0);
+  }
+}
+BENCHMARK(BM_BulkSemaphoreWaitSignal)->ThreadRange(1, 4);
+
+void BM_BulkSemaphoreTryWait(benchmark::State& state) {
+  sync::BulkSemaphore sem(1u << 20);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sem.try_wait(1));
+    sem.signal(1, 0);
+  }
+}
+BENCHMARK(BM_BulkSemaphoreTryWait)->ThreadRange(1, 4);
+
+void BM_CountingSemaphoreWaitSignal(benchmark::State& state) {
+  sync::CountingSemaphore sem(1u << 20);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sem.wait(1));
+    sem.signal(1);
+  }
+}
+BENCHMARK(BM_CountingSemaphoreWaitSignal)->ThreadRange(1, 4);
+
+// ---- mutexes ----------------------------------------------------------------
+
+void BM_SpinMutexLockUnlock(benchmark::State& state) {
+  static sync::SpinMutex mu;
+  for (auto _ : state) {
+    mu.lock();
+    mu.unlock();
+  }
+}
+BENCHMARK(BM_SpinMutexLockUnlock)->ThreadRange(1, 4);
+
+void BM_CollectiveMutexSingleton(benchmark::State& state) {
+  static sync::CollectiveMutex mu;
+  const auto g = gpu::CoalescedGroup::singleton(42);
+  for (auto _ : state) {
+    mu.lock(g);
+    mu.unlock(g);
+  }
+}
+BENCHMARK(BM_CollectiveMutexSingleton);
+
+// ---- RCU -------------------------------------------------------------------
+
+void BM_RcuReadLockUnlock(benchmark::State& state) {
+  static sync::SrcuDomain dom;
+  for (auto _ : state) {
+    const unsigned idx = dom.read_lock();
+    dom.read_unlock(idx);
+  }
+}
+BENCHMARK(BM_RcuReadLockUnlock)->ThreadRange(1, 4);
+
+void BM_RcuSynchronizeUncontended(benchmark::State& state) {
+  sync::SrcuDomain dom;
+  for (auto _ : state) {
+    dom.synchronize();
+  }
+}
+BENCHMARK(BM_RcuSynchronizeUncontended);
+
+// ---- bitmap -----------------------------------------------------------------
+
+void BM_BitmapClaimRelease(benchmark::State& state) {
+  std::vector<std::uint64_t> words(8, 0);
+  util::AtomicBitmapRef map(words.data(), 512);
+  map.reset();
+  std::uint64_t seed = 1;
+  for (auto _ : state) {
+    const std::uint32_t idx = map.claim_clear_bit(seed++);
+    map.release_bit(idx);
+  }
+}
+BENCHMARK(BM_BitmapClaimRelease);
+
+// ---- fibers -----------------------------------------------------------------
+
+void BM_FiberSwitch(benchmark::State& state) {
+  gpu::StackPool pool(32 * 1024);
+  struct Hot {
+    gpu::Fiber fiber;
+    static void entry(void* arg) {
+      auto* self = static_cast<Hot*>(arg);
+      for (;;) self->fiber.suspend();
+    }
+  };
+  Hot hot;
+  hot.fiber.reset(pool.acquire(), &Hot::entry, &hot);
+  for (auto _ : state) {
+    hot.fiber.resume();  // two context switches (in and out)
+  }
+  state.SetItemsProcessed(state.iterations() * 2);
+  // The fiber never finishes; leak its stack intentionally (process ends).
+  state.counters["switches/s"] = benchmark::Counter(
+      static_cast<double>(state.iterations()) * 2,
+      benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_FiberSwitch);
+
+// ---- allocators (host-side single thread floor) ----------------------------
+
+void BM_GpuAllocatorMallocFree(benchmark::State& state) {
+  static alloc::GpuAllocator ga(64u << 20, 4);
+  const std::size_t size = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    void* p = ga.malloc(size);
+    benchmark::DoNotOptimize(p);
+    ga.free(p);
+  }
+}
+BENCHMARK(BM_GpuAllocatorMallocFree)->Arg(8)->Arg(64)->Arg(1024)->Arg(4096)
+    ->Arg(65536);
+
+void BM_SerialHeapMallocFree(benchmark::State& state) {
+  static void* pool = std::aligned_alloc(4096, 64u << 20);
+  static baseline::SerialHeapAllocator heap(pool, 64u << 20);
+  const std::size_t size = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    void* p = heap.malloc(size);
+    benchmark::DoNotOptimize(p);
+    heap.free(p);
+  }
+}
+BENCHMARK(BM_SerialHeapMallocFree)->Arg(8)->Arg(64)->Arg(1024)->Arg(4096)
+    ->Arg(65536);
+
+}  // namespace
+}  // namespace toma
+
+BENCHMARK_MAIN();

@@ -1,0 +1,158 @@
+// Data-analytics example (the paper's RAPIDS/databases motivation).
+//
+// Hash join of two relations on the GPU: the build phase inserts R's rows
+// into a chained hash table whose nodes come from device-side malloc — no
+// host-side sizing pass, no upper-bound preallocation — and the probe
+// phase streams S against the table, counting matches and emitting joined
+// pairs into per-thread dynamically allocated output runs.
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <vector>
+
+#include "alloc/alloc.hpp"
+#include "gpusim/gpusim.hpp"
+#include "util/prng.hpp"
+
+namespace {
+
+struct Row {
+  std::uint32_t key;
+  std::uint32_t payload;
+};
+
+struct Node {
+  Node* next;
+  Row row;
+};
+
+struct OutRun {
+  std::uint64_t* pairs = nullptr;  // (r.payload << 32) | s.payload
+  std::uint32_t count = 0;
+};
+
+std::vector<Row> make_relation(std::uint32_t rows, std::uint32_t key_space,
+                               std::uint64_t seed) {
+  toma::util::Xorshift rng(seed);
+  std::vector<Row> rel(rows);
+  for (std::uint32_t i = 0; i < rows; ++i) {
+    rel[i].key = static_cast<std::uint32_t>(rng.next_below(key_space));
+    rel[i].payload = i;
+  }
+  return rel;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace toma;
+  const std::uint32_t r_rows =
+      argc > 1 ? static_cast<std::uint32_t>(std::atoi(argv[1])) : 40000;
+  const std::uint32_t s_rows = r_rows * 2;
+  const std::uint32_t key_space = r_rows / 2;  // ~2 matches per probe key
+
+  const std::vector<Row> r = make_relation(r_rows, key_space, 7);
+  const std::vector<Row> s = make_relation(s_rows, key_space, 13);
+
+  gpu::Device dev(gpu::DeviceConfig{});
+  alloc::GpuAllocator allocator(256 * 1024 * 1024, dev.num_sms());
+
+  // Bucket heads live in a host array (stands in for a device array);
+  // chain nodes come from the device allocator.
+  const std::uint32_t num_buckets = key_space;
+  std::vector<std::atomic<Node*>> buckets(num_buckets);
+  for (auto& b : buckets) b.store(nullptr);
+
+  // ---- build phase --------------------------------------------------------
+  std::atomic<std::uint64_t> build_oom{0};
+  dev.launch_linear(r_rows, 256, [&](gpu::ThreadCtx& t) {
+    if (t.global_rank() >= r_rows) return;
+    const Row row = r[t.global_rank()];
+    auto* node = static_cast<Node*>(allocator.malloc(sizeof(Node)));
+    if (node == nullptr) {
+      build_oom.fetch_add(1);
+      return;
+    }
+    node->row = row;
+    auto& head = buckets[row.key % num_buckets];
+    Node* cur = head.load(std::memory_order_relaxed);
+    do {
+      node->next = cur;
+    } while (!head.compare_exchange_weak(cur, node,
+                                         std::memory_order_release,
+                                         std::memory_order_relaxed));
+  });
+
+  // ---- probe phase --------------------------------------------------------
+  std::vector<OutRun> runs(s_rows);
+  std::atomic<std::uint64_t> matches{0}, probe_oom{0};
+  dev.launch_linear(s_rows, 256, [&](gpu::ThreadCtx& t) {
+    if (t.global_rank() >= s_rows) return;
+    const Row probe = s[t.global_rank()];
+    // First pass over the chain to size the output run, then allocate
+    // exactly — the allocator is fast enough that exact sizing beats
+    // worst-case preallocation (the paper's point).
+    std::uint32_t n = 0;
+    for (Node* cur = buckets[probe.key % num_buckets].load(
+             std::memory_order_acquire);
+         cur != nullptr; cur = cur->next) {
+      if (cur->row.key == probe.key) ++n;
+    }
+    if (n == 0) return;
+    auto* out = static_cast<std::uint64_t*>(
+        allocator.malloc(n * sizeof(std::uint64_t)));
+    if (out == nullptr) {
+      probe_oom.fetch_add(1);
+      return;
+    }
+    std::uint32_t w = 0;
+    for (Node* cur = buckets[probe.key % num_buckets].load(
+             std::memory_order_acquire);
+         cur != nullptr && w < n; cur = cur->next) {
+      if (cur->row.key == probe.key) {
+        out[w++] = (std::uint64_t{cur->row.payload} << 32) | probe.payload;
+      }
+    }
+    runs[t.global_rank()] = OutRun{out, w};
+    matches.fetch_add(w, std::memory_order_relaxed);
+  });
+
+  // ---- host-side validation + cleanup -------------------------------------
+  // Reference join cardinality.
+  std::vector<std::uint32_t> key_count(key_space, 0);
+  for (const Row& row : r) ++key_count[row.key];
+  std::uint64_t expected = 0;
+  for (const Row& row : s) expected += key_count[row.key];
+
+  std::uint64_t emitted = 0;
+  for (OutRun& run : runs) {
+    emitted += run.count;
+    if (run.pairs != nullptr) allocator.free(run.pairs);
+  }
+  dev.launch_linear(num_buckets, 256, [&](gpu::ThreadCtx& t) {
+    if (t.global_rank() >= num_buckets) return;
+    Node* cur = buckets[t.global_rank()].exchange(nullptr);
+    while (cur != nullptr) {
+      Node* next = cur->next;
+      allocator.free(cur);
+      cur = next;
+    }
+  });
+
+  const auto st = allocator.stats();
+  std::printf("hash join: |R|=%u |S|=%u buckets=%u\n", r_rows, s_rows,
+              num_buckets);
+  std::printf("matches:        %llu (expected %llu)%s\n",
+              static_cast<unsigned long long>(matches.load()),
+              static_cast<unsigned long long>(expected),
+              matches.load() == expected ? "" : "  <-- MISMATCH");
+  std::printf("emitted pairs:  %llu\n",
+              static_cast<unsigned long long>(emitted));
+  std::printf("device mallocs: %llu (failed %llu)\n",
+              static_cast<unsigned long long>(st.mallocs),
+              static_cast<unsigned long long>(st.failed_mallocs +
+                                              build_oom.load() * 0));
+  std::printf("consistent:     %s\n",
+              allocator.check_consistency() ? "yes" : "NO");
+  return matches.load() == expected ? 0 : 1;
+}

@@ -1,0 +1,8 @@
+// Umbrella header for the allocator.
+#pragma once
+
+#include "alloc/allocator.hpp"
+#include "alloc/config.hpp"
+#include "alloc/device_heap.hpp"
+#include "alloc/tbuddy.hpp"
+#include "alloc/ualloc.hpp"

@@ -1,0 +1,107 @@
+#include "alloc/allocator.hpp"
+
+#include <cstdlib>
+#include <cstring>
+#include <algorithm>
+#include <cstdint>
+
+#include "util/assert.hpp"
+#include "util/bitops.hpp"
+
+namespace toma::alloc {
+
+GpuAllocator::GpuAllocator(std::size_t pool_bytes, std::uint32_t num_arenas)
+    : pool_bytes_(pool_bytes) {
+  TOMA_ASSERT(util::is_pow2(pool_bytes));
+  TOMA_ASSERT(pool_bytes >= kChunkSize);
+  // The pool must be aligned to its own size so every buddy block is
+  // aligned to its block size (which the free() routing relies on).
+  pool_ = std::aligned_alloc(pool_bytes, pool_bytes);
+  TOMA_ASSERT_MSG(pool_ != nullptr, "pool reservation failed");
+  buddy_ = std::make_unique<TBuddy>(pool_, pool_bytes, kPageSize);
+  ualloc_ = std::make_unique<UAlloc>(*buddy_, num_arenas);
+}
+
+GpuAllocator::~GpuAllocator() {
+  ualloc_.reset();
+  buddy_.reset();
+  std::free(pool_);
+}
+
+std::size_t GpuAllocator::effective_size(std::size_t size) {
+  if (size == 0) return 0;
+  std::size_t rounded = util::round_up_pow2(size < kMinAlloc ? kMinAlloc
+                                                             : size);
+  if (rounded > kMaxUAllocSize) {
+    rounded = util::align_up(rounded, kPageSize);  // 2 KB -> 4 KB
+  }
+  return rounded;
+}
+
+void* GpuAllocator::malloc(std::size_t size) {
+  if (size == 0) return nullptr;
+  st_mallocs_.fetch_add(1, std::memory_order_relaxed);
+  const std::size_t rounded =
+      util::round_up_pow2(size < kMinAlloc ? kMinAlloc : size);
+  void* p;
+  if (rounded <= kMaxUAllocSize) {
+    p = ualloc_->allocate(rounded);
+  } else {
+    p = buddy_->allocate_bytes(rounded);
+  }
+  if (p == nullptr) st_failed_.fetch_add(1, std::memory_order_relaxed);
+  return p;
+}
+
+void GpuAllocator::free(void* p) {
+  if (p == nullptr) return;
+  st_frees_.fetch_add(1, std::memory_order_relaxed);
+  if (util::is_aligned(p, kPageSize)) {
+    buddy_->free(p);
+  } else {
+    ualloc_->free(p);
+  }
+}
+
+void* GpuAllocator::calloc(std::size_t n, std::size_t size) {
+  if (n != 0 && size > SIZE_MAX / n) return nullptr;  // overflow
+  const std::size_t total = n * size;
+  void* p = malloc(total);
+  if (p != nullptr) std::memset(p, 0, total);
+  return p;
+}
+
+void* GpuAllocator::realloc(void* p, std::size_t size) {
+  if (p == nullptr) return malloc(size);
+  if (size == 0) {
+    free(p);
+    return nullptr;
+  }
+  const std::size_t old_cap = usable_size(p);
+  if (size <= old_cap && effective_size(size) == old_cap) {
+    return p;  // still the best-fitting block
+  }
+  void* q = malloc(size);
+  if (q == nullptr) return nullptr;
+  std::memcpy(q, p, std::min(old_cap, size));
+  free(p);
+  return q;
+}
+
+std::size_t GpuAllocator::usable_size(void* p) const {
+  TOMA_ASSERT(p != nullptr);
+  if (util::is_aligned(p, kPageSize)) return buddy_->allocation_size(p);
+  return ualloc_->usable_size(p);
+}
+
+GpuAllocatorStats GpuAllocator::stats() const {
+  GpuAllocatorStats s;
+  s.buddy = buddy_->stats();
+  s.ualloc = ualloc_->stats();
+  s.mallocs = st_mallocs_.load(std::memory_order_relaxed);
+  s.failed_mallocs = st_failed_.load(std::memory_order_relaxed);
+  s.frees = st_frees_.load(std::memory_order_relaxed);
+  return s;
+}
+
+}  // namespace toma::alloc

@@ -1,0 +1,92 @@
+// GpuAllocator: the public malloc/free facade (paper §4).
+//
+// Size routing on malloc: requests round up to a power of two; sizes
+// 8..1024 B go to UAlloc, everything larger (including the degenerate
+// 2 KB case, which rounds to one 4 KB page) goes to TBuddy.
+//
+// Alignment routing on free: TBuddy blocks are always 4 KB aligned and
+// UAlloc blocks never are, so a single alignment test replaces any shared
+// ownership structure — eliminating what would otherwise be a global
+// point of contention.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+
+#include "alloc/config.hpp"
+#include "alloc/tbuddy.hpp"
+#include "alloc/ualloc.hpp"
+
+namespace toma::alloc {
+
+struct GpuAllocatorStats {
+  TBuddyStats buddy;
+  UAllocStats ualloc;
+  std::uint64_t mallocs = 0;
+  std::uint64_t failed_mallocs = 0;
+  std::uint64_t frees = 0;
+};
+
+class GpuAllocator {
+ public:
+  /// Create an allocator over a freshly reserved pool of `pool_bytes`
+  /// (a power of two; the host-side analogue of cudaMalloc'ing the pool).
+  /// `num_arenas` is normally the device's SM count.
+  GpuAllocator(std::size_t pool_bytes, std::uint32_t num_arenas);
+  ~GpuAllocator();
+
+  GpuAllocator(const GpuAllocator&) = delete;
+  GpuAllocator& operator=(const GpuAllocator&) = delete;
+
+  /// Device-side malloc. Returns nullptr for size 0, oversized requests,
+  /// or pool exhaustion.
+  void* malloc(std::size_t size);
+
+  /// Device-side free. nullptr is ignored.
+  void free(void* p);
+
+  /// Zero-initialized allocation of n*size bytes (overflow-checked).
+  void* calloc(std::size_t n, std::size_t size);
+
+  /// Standard realloc semantics: grows/shrinks `p` to `size` bytes,
+  /// preserving min(old, new) bytes; realloc(nullptr, s) == malloc(s);
+  /// realloc(p, 0) frees p and returns nullptr. On failure the original
+  /// block is untouched and nullptr is returned. No-op when the new size
+  /// still fits the block's actual capacity.
+  void* realloc(void* p, std::size_t size);
+
+  /// Actual byte capacity of a live allocation (>= the requested size).
+  std::size_t usable_size(void* p) const;
+
+  /// The size a request will actually occupy (rounding + routing),
+  /// exposed for fragmentation accounting in benchmarks.
+  static std::size_t effective_size(std::size_t size);
+
+  std::size_t pool_bytes() const { return pool_bytes_; }
+  TBuddy& buddy() { return *buddy_; }
+  UAlloc& ualloc() { return *ualloc_; }
+
+  /// Scavenge cached-but-empty UAlloc bins/chunks back into the buddy
+  /// pool (malloc_trim analogue). Returns chunks released.
+  std::size_t trim() { return ualloc_->trim(); }
+
+  GpuAllocatorStats stats() const;
+
+  /// Combined quiescent consistency check (tests).
+  bool check_consistency() const {
+    return buddy_->check_consistency() && ualloc_->check_consistency();
+  }
+
+ private:
+  std::size_t pool_bytes_;
+  void* pool_;
+  std::unique_ptr<TBuddy> buddy_;
+  std::unique_ptr<UAlloc> ualloc_;
+
+  mutable std::atomic<std::uint64_t> st_mallocs_{0};
+  mutable std::atomic<std::uint64_t> st_failed_{0};
+  mutable std::atomic<std::uint64_t> st_frees_{0};
+};
+
+}  // namespace toma::alloc

@@ -1,0 +1,46 @@
+#include "alloc/device_heap.hpp"
+
+#include <atomic>
+#include <mutex>
+
+namespace toma::alloc {
+
+namespace {
+std::atomic<GpuAllocator*> g_heap{nullptr};
+std::once_flag g_default_once;
+}  // namespace
+
+GpuAllocator* set_device_heap(GpuAllocator* heap) {
+  return g_heap.exchange(heap, std::memory_order_acq_rel);
+}
+
+GpuAllocator* device_heap() {
+  return g_heap.load(std::memory_order_acquire);
+}
+
+GpuAllocator& ensure_device_heap(std::size_t pool_bytes,
+                                 std::uint32_t num_arenas) {
+  GpuAllocator* heap = device_heap();
+  if (heap != nullptr) return *heap;
+  std::call_once(g_default_once, [&] {
+    // Intentionally leaked: the implicit heap lives for the process, as
+    // CUDA's device heap does.
+    auto* created = new GpuAllocator(pool_bytes, num_arenas);
+    GpuAllocator* expected = nullptr;
+    g_heap.compare_exchange_strong(expected, created,
+                                   std::memory_order_acq_rel);
+  });
+  return *device_heap();
+}
+
+void* device_malloc(std::size_t size) {
+  return ensure_device_heap().malloc(size);
+}
+
+void device_free(void* p) {
+  if (p == nullptr) return;
+  GpuAllocator* heap = device_heap();
+  if (heap != nullptr) heap->free(p);
+}
+
+}  // namespace toma::alloc

@@ -1,0 +1,51 @@
+// The process-global device heap: the CUDA-style `malloc`/`free` entry
+// points (paper §2.1 — "Individual threads running on the GPU request
+// dynamic allocation by calling malloc, and it is through this interface
+// that our implementation is exposed to the application").
+//
+// CUDA exposes one implicit heap per device, sized by
+// cudaDeviceSetLimit(cudaLimitMallocHeapSize) before first use; we mirror
+// that shape: install a GpuAllocator once (or let device_malloc lazily
+// create a default-sized one), then call device_malloc/device_free from
+// any thread, simulated or host.
+#pragma once
+
+#include <cstddef>
+
+#include "alloc/allocator.hpp"
+
+namespace toma::alloc {
+
+/// Install `heap` as the global device heap (not owned; pass nullptr to
+/// uninstall). Returns the previously installed heap.
+GpuAllocator* set_device_heap(GpuAllocator* heap);
+
+/// The installed heap, or nullptr.
+GpuAllocator* device_heap();
+
+/// Lazily create-and-install a default heap of `pool_bytes` (first call
+/// wins; subsequent calls return the existing heap regardless of size).
+/// The lazily created heap lives until process exit.
+GpuAllocator& ensure_device_heap(std::size_t pool_bytes = 64 << 20,
+                                 std::uint32_t num_arenas = 8);
+
+/// The standard C interface as device code sees it. device_malloc uses
+/// ensure_device_heap() when none is installed, matching CUDA's implicit
+/// default heap.
+void* device_malloc(std::size_t size);
+void device_free(void* p);
+
+/// RAII installer for tests and scoped use.
+class DeviceHeapScope {
+ public:
+  explicit DeviceHeapScope(GpuAllocator& heap)
+      : previous_(set_device_heap(&heap)) {}
+  ~DeviceHeapScope() { set_device_heap(previous_); }
+  DeviceHeapScope(const DeviceHeapScope&) = delete;
+  DeviceHeapScope& operator=(const DeviceHeapScope&) = delete;
+
+ private:
+  GpuAllocator* previous_;
+};
+
+}  // namespace toma::alloc

@@ -1,0 +1,497 @@
+#include "alloc/tbuddy.hpp"
+
+#include "alloc/config.hpp"
+
+#include <cinttypes>
+#include <cstdio>
+
+#include "gpusim/this_thread.hpp"
+#include "sync/backoff.hpp"
+#include "util/bitops.hpp"
+
+namespace toma::alloc {
+
+namespace {
+constexpr std::uint8_t kNoAllocation = 0xFF;
+}
+
+TBuddy::TBuddy(void* pool, std::size_t pool_bytes, std::size_t page_size)
+    : pool_(pool), pool_bytes_(pool_bytes), page_size_(page_size) {
+  TOMA_ASSERT(pool != nullptr);
+  TOMA_ASSERT(util::is_pow2(page_size));
+  TOMA_ASSERT(util::is_pow2(pool_bytes));
+  TOMA_ASSERT(pool_bytes >= page_size);
+  TOMA_ASSERT_MSG(util::is_aligned(pool, pool_bytes),
+                  "pool must be aligned to its own size so block addresses "
+                  "are aligned to their block size");
+
+  const std::size_t pages = pool_bytes / page_size;
+  max_order_ = util::log2_floor(pages);
+  TOMA_ASSERT_MSG(pages <= sync::BulkSemaphore::kMaxValue,
+                  "pool too large for semaphore accounting");
+
+  node_state_.assign(node_count(), kBusy);
+  order_of_page_.assign(pages, kNoAllocation);
+  sems_.reserve(max_order_ + 1);
+  for (std::uint32_t h = 0; h <= max_order_; ++h) {
+    sems_.push_back(std::make_unique<sync::BulkSemaphore>(0));
+  }
+  // Initially the whole pool is one available block at the root.
+  node_state_[1] = kAvailable;
+  sems_[max_order_]->signal(1, 0);
+}
+
+std::uint32_t TBuddy::height_of(std::uint32_t i) const {
+  return max_order_ - util::log2_floor(i);
+}
+
+void* TBuddy::node_addr(std::uint32_t i) const {
+  const std::uint32_t h = height_of(i);
+  const std::size_t page =
+      (static_cast<std::size_t>(i) - level_base(h)) << h;
+  return static_cast<char*>(pool_) + page * page_size_;
+}
+
+std::uint32_t TBuddy::node_at(const void* p, std::uint32_t order) const {
+  const std::size_t off = static_cast<const char*>(p) -
+                          static_cast<const char*>(pool_);
+  const std::size_t page = off / page_size_;
+  return level_base(order) + static_cast<std::uint32_t>(page >> order);
+}
+
+TBuddy::State TBuddy::state_of(std::uint32_t i) const {
+  std::atomic_ref<const std::uint8_t> b(node_state_[i]);
+  return static_cast<State>(b.load(std::memory_order_acquire) & kStateMask);
+}
+
+void TBuddy::lock_node(std::uint32_t i) {
+  std::atomic_ref<std::uint8_t> b(node_state_[i]);
+  sync::Backoff bo;
+  for (;;) {
+    std::uint8_t cur = b.load(std::memory_order_relaxed);
+    if ((cur & kLockBit) == 0 &&
+        b.compare_exchange_weak(cur, cur | kLockBit,
+                                std::memory_order_acquire,
+                                std::memory_order_relaxed)) {
+      return;
+    }
+    bo.pause();
+  }
+}
+
+void TBuddy::unlock_node(std::uint32_t i) {
+  std::atomic_ref<std::uint8_t> b(node_state_[i]);
+  b.fetch_and(static_cast<std::uint8_t>(~kLockBit),
+              std::memory_order_release);
+}
+
+void TBuddy::set_state_locked(std::uint32_t i, State s) {
+  std::atomic_ref<std::uint8_t> b(node_state_[i]);
+  TOMA_DASSERT(b.load(std::memory_order_relaxed) & kLockBit);
+  b.store(static_cast<std::uint8_t>(kLockBit | s), std::memory_order_release);
+}
+
+TBuddy::State TBuddy::derive(std::uint32_t i) const {
+  const State l = state_of(left_child(i));
+  const State r = state_of(left_child(i) + 1);
+  const bool below =
+      l == kAvailable || l == kPartial || r == kAvailable || r == kPartial;
+  return below ? kPartial : kBusy;
+}
+
+void TBuddy::fixup_from(std::uint32_t i) {
+  // Recompute ancestors hand-over-hand. Holding a node's lock freezes its
+  // children (every child transition locks the parent), so derive() under
+  // the lock reads a stable snapshot.
+  while (i >= 1) {
+    const std::uint32_t p = parent_of(i);  // 0 when i is the root
+    if (p != 0) lock_node(p);
+    lock_node(i);
+    std::atomic_ref<std::uint8_t> b(node_state_[i]);
+    const auto cur =
+        static_cast<State>(b.load(std::memory_order_relaxed) & kStateMask);
+    bool changed = false;
+    // Available nodes are explicit (never derived); owned-Busy nodes have
+    // inactive subtrees, so a fixup reaching one derives the same Busy.
+    if (cur != kAvailable) {
+      const State d = derive(i);
+      if (d != cur) {
+        set_state_locked(i, d);
+        changed = true;
+      }
+    }
+    unlock_node(i);
+    if (p != 0) unlock_node(p);
+    if (!changed || p == 0) return;
+    i = p;
+  }
+}
+
+bool TBuddy::try_claim(std::uint32_t i) {
+  const std::uint32_t p = parent_of(i);
+  if (p != 0) lock_node(p);
+  lock_node(i);
+  std::atomic_ref<std::uint8_t> b(node_state_[i]);
+  const auto cur =
+      static_cast<State>(b.load(std::memory_order_relaxed) & kStateMask);
+  bool ok = false;
+  if (cur == kAvailable) {
+    set_state_locked(i, kBusy);
+    ok = true;
+  }
+  unlock_node(i);
+  if (p != 0) unlock_node(p);
+  if (ok && p != 0) fixup_from(p);
+  return ok;
+}
+
+std::uint32_t TBuddy::find_and_claim(std::uint32_t order) {
+  sync::Backoff bo;
+  auto& rng = gpu::this_thread::rng();
+  for (;;) {
+    std::uint32_t i = 1;
+    std::uint32_t h = max_order_;
+    if (h == order) {
+      if (try_claim(1)) return 1;
+      st_retries_.fetch_add(1, std::memory_order_relaxed);
+      bo.pause();
+      continue;
+    }
+    bool dead_end = false;
+    while (!dead_end) {
+      for (std::uint32_t d = 0; d < descent_latency_; ++d) {
+        gpu::this_thread::yield();  // modeled node-state read latency
+      }
+      // Scatter: visit the two children in a per-thread random order so
+      // concurrent descents fan out across the tree (ScatterAlloc-style).
+      const std::uint32_t first =
+          left_child(i) + (scatter_ ? (rng.next() & 1) : 0);
+      const std::uint32_t second = sibling_of(first);
+      const std::uint32_t ch = h - 1;
+      bool descended = false;
+      for (const std::uint32_t c : {first, second}) {
+        const State s = state_of(c);
+        if (ch == order) {
+          if (s == kAvailable && try_claim(c)) return c;
+        } else if (s == kPartial) {
+          i = c;
+          h = ch;
+          descended = true;
+          break;
+        }
+      }
+      if (!descended) dead_end = true;
+    }
+    st_retries_.fetch_add(1, std::memory_order_relaxed);
+    bo.pause();
+  }
+}
+
+void* TBuddy::allocate(std::uint32_t order) {
+  if (order > max_order_) {
+    st_failed_.fetch_add(1, std::memory_order_relaxed);
+    return nullptr;
+  }
+
+  const auto res = sems_[order]->wait(1, 2);
+  if (res == sync::BulkSemaphore::WaitResult::kAcquired) {
+    const std::uint32_t node = find_and_claim(order);
+    st_allocs_.fetch_add(1, std::memory_order_relaxed);
+    void* p = node_addr(node);
+    const std::size_t page =
+        (static_cast<const char*>(p) - static_cast<const char*>(pool_)) /
+        page_size_;
+    std::atomic_ref<std::uint8_t> rec(order_of_page_[page]);
+    TOMA_DASSERT(rec.load(std::memory_order_relaxed) == kNoAllocation);
+    rec.store(static_cast<std::uint8_t>(order), std::memory_order_release);
+    return p;
+  }
+
+  // kMustGrow: produce a batch of two order-n blocks by splitting an
+  // order-(n+1) block; keep one, publish the other.
+  if (order == max_order_) {
+    sems_[order]->signal(0, 1);  // cannot grow past the root: true OOM
+    st_failed_.fetch_add(1, std::memory_order_relaxed);
+    return nullptr;
+  }
+  void* parent_mem = allocate(order + 1);
+  if (parent_mem == nullptr) {
+    sems_[order]->signal(0, 1);  // growth failed; let waiters re-decide
+    st_failed_.fetch_add(1, std::memory_order_relaxed);
+    return nullptr;
+  }
+  // Un-register the parent allocation record; it is being split, not used.
+  {
+    const std::size_t page = (static_cast<const char*>(parent_mem) -
+                              static_cast<const char*>(pool_)) /
+                             page_size_;
+    std::atomic_ref<std::uint8_t> rec(order_of_page_[page]);
+    rec.store(kNoAllocation, std::memory_order_release);
+  }
+
+  const std::uint32_t pnode = node_at(parent_mem, order + 1);
+  const std::uint32_t keep = left_child(pnode);
+  const std::uint32_t give = keep + 1;
+
+  // Paper order: block Busy -> Partial first, then one child -> Available,
+  // then signal. Claimers retry through the transient window.
+  {
+    const std::uint32_t gp = parent_of(pnode);
+    if (gp != 0) lock_node(gp);
+    lock_node(pnode);
+    set_state_locked(pnode, kPartial);
+    unlock_node(pnode);
+    if (gp != 0) unlock_node(gp);
+  }
+  {
+    lock_node(pnode);
+    lock_node(give);
+    set_state_locked(give, kAvailable);
+    // Signal inside the locked section (same reason as the free path):
+    // "give is Available" and "its unit is in C" become visible together
+    // to anyone holding the parent lock.
+    sems_[order]->signal(1, 1);
+    unlock_node(give);
+    unlock_node(pnode);
+  }
+  // pnode went (owned) Busy -> Partial: recompute its ancestors.
+  if (pnode > 1) fixup_from(parent_of(pnode));
+  st_splits_.fetch_add(1, std::memory_order_relaxed);
+  st_allocs_.fetch_add(1, std::memory_order_relaxed);
+
+  void* p = node_addr(keep);
+  const std::size_t page =
+      (static_cast<const char*>(p) - static_cast<const char*>(pool_)) /
+      page_size_;
+  std::atomic_ref<std::uint8_t> rec(order_of_page_[page]);
+  TOMA_DASSERT(rec.load(std::memory_order_relaxed) == kNoAllocation);
+  rec.store(static_cast<std::uint8_t>(order), std::memory_order_release);
+  return p;
+}
+
+void* TBuddy::allocate_bytes(std::size_t bytes) {
+  if (bytes == 0) return nullptr;
+  return allocate(order_for_bytes(bytes));
+}
+
+void TBuddy::free(void* p) {
+  TOMA_ASSERT_MSG(contains(p), "free of a pointer outside the pool");
+  const std::size_t off =
+      static_cast<const char*>(p) - static_cast<const char*>(pool_);
+  TOMA_ASSERT_MSG(off % page_size_ == 0,
+                  "TBuddy pointers are page aligned by construction");
+  const std::size_t page = off / page_size_;
+  std::atomic_ref<std::uint8_t> rec(order_of_page_[page]);
+  const std::uint8_t order = rec.load(std::memory_order_acquire);
+  TOMA_ASSERT_MSG(order != kNoAllocation,
+                  "double free or foreign pointer passed to TBuddy");
+  rec.store(kNoAllocation, std::memory_order_release);
+  st_frees_.fetch_add(1, std::memory_order_relaxed);
+  free_block(node_at(p, order), order);
+}
+
+std::size_t TBuddy::allocation_size(const void* p) const {
+  TOMA_ASSERT(contains(p));
+  const std::size_t off =
+      static_cast<const char*>(p) - static_cast<const char*>(pool_);
+  TOMA_ASSERT(off % page_size_ == 0);
+  std::atomic_ref<const std::uint8_t> rec(order_of_page_[off / page_size_]);
+  const std::uint8_t order = rec.load(std::memory_order_acquire);
+  TOMA_ASSERT_MSG(order != kNoAllocation,
+                  "allocation_size of a non-live pointer");
+  return page_size_ << order;
+}
+
+void TBuddy::free_block(std::uint32_t i, std::uint32_t order) {
+  for (;;) {
+    if (i == 1) {  // the root has no buddy: just release it
+      lock_node(1);
+      set_state_locked(1, kAvailable);
+      unlock_node(1);
+      sems_[order]->signal(1, 0);
+      return;
+    }
+
+    const std::uint32_t p = parent_of(i);
+    const std::uint32_t b = sibling_of(i);
+
+    // Merge attempt (paper: must always be attempted; only a failed
+    // try_wait proves the buddy cannot be consumed).
+    bool merged = false;
+    if (sems_[order]->try_wait(1)) {
+      lock_node(p);
+      lock_node(b);
+      std::atomic_ref<std::uint8_t> bb(node_state_[b]);
+      if ((bb.load(std::memory_order_relaxed) & kStateMask) == kAvailable) {
+        set_state_locked(b, kBusy);
+        merged = true;
+      }
+      unlock_node(b);
+      unlock_node(p);
+      if (!merged) {
+        sems_[order]->signal(1, 0);  // return the reserved unit
+      }
+    }
+
+    if (!merged) {
+      // Release i as Available — but never publish "both siblings
+      // Available" (tree property 1). Under the parent lock the buddy's
+      // state is frozen; if it is Available we must merge instead, which
+      // requires consuming its accounting unit. That unit may be
+      // transiently absent (its releaser signals under this same parent
+      // lock, so normally it is visible — but a third-party merge attempt
+      // elsewhere can briefly borrow units via try_wait). In that case we
+      // back off and re-decide: either the unit returns (we merge) or a
+      // claimer takes the buddy (we release plain).
+      for (;;) {
+        lock_node(p);
+        lock_node(i);
+        std::atomic_ref<std::uint8_t> bb(node_state_[b]);
+        if ((bb.load(std::memory_order_acquire) & kStateMask) ==
+            kAvailable) {
+          if (sems_[order]->try_wait(1)) {
+            // Safe to take b's lock while holding p and i: any other
+            // holder of b either needed p first (we have it) or is a
+            // (b, child-of-b) pair that never waits on p or i.
+            lock_node(b);
+            set_state_locked(b, kBusy);
+            unlock_node(b);
+            unlock_node(i);  // i stays Busy: we own the merged pair
+            unlock_node(p);
+            merged = true;
+            break;
+          }
+          unlock_node(i);
+          unlock_node(p);
+          gpu::this_thread::yield();
+          continue;
+        }
+        set_state_locked(i, kAvailable);
+        // Signal under the parent lock: anyone who subsequently observes
+        // i Available under this lock also observes its unit in C (or the
+        // unit already claimed, which makes i Busy again first).
+        sems_[order]->signal(1, 0);
+        unlock_node(i);
+        unlock_node(p);
+        fixup_from(p);
+        return;
+      }
+    }
+
+    // Merged: the parent (Partial) becomes our owned block one order up.
+    {
+      const std::uint32_t gp = parent_of(p);
+      if (gp != 0) lock_node(gp);
+      lock_node(p);
+      set_state_locked(p, kBusy);
+      unlock_node(p);
+      if (gp != 0) unlock_node(gp);
+      if (gp != 0) fixup_from(gp);
+    }
+    st_merges_.fetch_add(1, std::memory_order_relaxed);
+    i = p;
+    ++order;
+  }
+}
+
+std::uint64_t TBuddy::available(std::uint32_t order) const {
+  TOMA_ASSERT(order <= max_order_);
+  return sems_[order]->value();
+}
+
+std::size_t TBuddy::free_bytes() const {
+  std::size_t total = 0;
+  for (std::uint32_t h = 0; h <= max_order_; ++h) {
+    total += sems_[h]->value() * (page_size_ << h);
+  }
+  return total;
+}
+
+std::size_t TBuddy::largest_free_block() const {
+  for (std::uint32_t h = max_order_ + 1; h-- > 0;) {
+    if (sems_[h]->value() > 0) return page_size_ << h;
+  }
+  return 0;
+}
+
+TBuddyStats TBuddy::stats() const {
+  TBuddyStats s;
+  s.allocs = st_allocs_.load(std::memory_order_relaxed);
+  s.frees = st_frees_.load(std::memory_order_relaxed);
+  s.splits = st_splits_.load(std::memory_order_relaxed);
+  s.merges = st_merges_.load(std::memory_order_relaxed);
+  s.failed_allocs = st_failed_.load(std::memory_order_relaxed);
+  s.descent_retries = st_retries_.load(std::memory_order_relaxed);
+  return s;
+}
+
+bool TBuddy::check_consistency() const {
+  bool ok = true;
+  auto fail = [&](const char* what, std::uint32_t node) {
+    std::fprintf(stderr, "TBuddy inconsistency: %s at node %u\n", what, node);
+    ok = false;
+  };
+
+  const std::uint32_t n = node_count();
+  std::vector<std::uint64_t> avail_at(max_order_ + 1, 0);
+  std::vector<bool> has_avail(n, false);  // available anywhere in subtree
+
+  for (std::uint32_t i = n - 1; i >= 1; --i) {
+    if (node_state_[i] & kLockBit) fail("node locked while quiescent", i);
+    const auto s = static_cast<State>(node_state_[i] & kStateMask);
+    const bool leaf = i >= level_base(0);
+    const bool child_avail =
+        !leaf && (has_avail[left_child(i)] || has_avail[left_child(i) + 1]);
+    if (s == kAvailable) {
+      avail_at[height_of(i)]++;
+      if (child_avail) fail("available node with available descendant", i);
+      has_avail[i] = true;
+    } else {
+      has_avail[i] = child_avail;
+      if (s == kPartial && !child_avail) {
+        fail("partial node without available descendant", i);
+      }
+    }
+    if (i > 1 && (i & 1) == 0) {  // left child: check sibling pair once
+      const auto sl = static_cast<State>(node_state_[i] & kStateMask);
+      const auto sr = static_cast<State>(node_state_[i + 1] & kStateMask);
+      if (sl == kAvailable && sr == kAvailable) {
+        fail("both siblings available", i);
+      }
+    }
+  }
+
+  for (std::uint32_t h = 0; h <= max_order_; ++h) {
+    const auto snap = sems_[h]->snapshot();
+    if (snap.expected != 0 || snap.reserved != 0) {
+      std::fprintf(stderr,
+                   "TBuddy inconsistency: semaphore %u not quiescent "
+                   "(E=%" PRIu64 " R=%" PRIu64 ")\n",
+                   h, snap.expected, snap.reserved);
+      ok = false;
+    }
+    if (snap.value != avail_at[h]) {
+      std::fprintf(stderr,
+                   "TBuddy inconsistency: order %u semaphore C=%" PRIu64
+                   " but %" PRIu64 " available nodes\n",
+                   h, snap.value, avail_at[h]);
+      ok = false;
+    }
+  }
+
+  // Allocation records: each recorded allocation must be a Busy node whose
+  // subtree contains nothing available.
+  for (std::size_t page = 0; page < order_of_page_.size(); ++page) {
+    const std::uint8_t order = order_of_page_[page];
+    if (order == kNoAllocation) continue;
+    const std::uint32_t node =
+        level_base(order) + static_cast<std::uint32_t>(page >> order);
+    const auto s = static_cast<State>(node_state_[node] & kStateMask);
+    if (s != kBusy) fail("allocated node not busy", node);
+    if (has_avail[node]) fail("allocated node with available descendant", node);
+  }
+
+  return ok;
+}
+
+}  // namespace toma::alloc

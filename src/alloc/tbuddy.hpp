@@ -1,0 +1,190 @@
+// TBuddy: the coarse-grained tree buddy allocator (paper §4.1).
+//
+// Free memory is tracked at page granularity by a *static binary tree*:
+// the node of height h at position i covers pages [i*2^h, (i+1)*2^h) and is
+// in one of three states:
+//
+//   Available — the block can be allocated
+//   Busy      — neither the block nor anything in its subtree can be
+//               allocated (initial state everywhere except the root;
+//               also the state of a block handed to a caller)
+//   Partial   — the block itself cannot be allocated but its subtree
+//               contains at least one available block
+//
+// Tree invariants (paper):
+//   (1) two sibling nodes are never both Available (they merge instead);
+//   (2) every node in an Available node's subtree is Busy.
+//
+// Accounting uses two-stage resource management: one bulk semaphore per
+// order (batch size 2 — splitting one block of order n+1 yields two of
+// order n) counts available blocks; the tree is only the tracking stage.
+// wait() == kAcquired guarantees an Available node of that order exists
+// and is reserved for unit holders, so the (scattered) tree descent
+// retries until it claims one. wait() == kMustGrow makes the caller
+// recursively allocate order n+1 and split it.
+//
+// Every state transition locks the node *and its parent* (ancestor-first,
+// so no deadlocks); state recomputation propagates upward hand-over-hand,
+// re-locking (grandparent, parent) after releasing (parent, node).
+//
+// Free operations always attempt to merge with the buddy; only a failed
+// try_wait on the order's semaphore proves the merge cannot proceed.
+// Merges cascade upward, re-forming maximal blocks.
+//
+// TBuddy results are always aligned to the block size (hence at least
+// page-aligned) — the property the top-level allocator uses to route
+// free() calls without a shared ownership table.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "sync/bulk_semaphore.hpp"
+#include "util/assert.hpp"
+
+namespace toma::alloc {
+
+/// Runtime statistics (monotonic counters; approximate under concurrency).
+struct TBuddyStats {
+  std::uint64_t allocs = 0;
+  std::uint64_t frees = 0;
+  std::uint64_t splits = 0;
+  std::uint64_t merges = 0;
+  std::uint64_t failed_allocs = 0;
+  std::uint64_t descent_retries = 0;
+};
+
+class TBuddy {
+ public:
+  /// Manage `pool_bytes` (a power of two multiple of `page_size`) starting
+  /// at `pool` (aligned to pool_bytes). Metadata lives on the host heap.
+  TBuddy(void* pool, std::size_t pool_bytes, std::size_t page_size = 4096);
+
+  TBuddy(const TBuddy&) = delete;
+  TBuddy& operator=(const TBuddy&) = delete;
+
+  /// Allocate a block of `page_size << order` bytes; nullptr when the pool
+  /// cannot supply one (true exhaustion at that order, not false resource
+  /// starvation — see paper §3.1).
+  void* allocate(std::uint32_t order);
+
+  /// Convenience: allocate the smallest order covering `bytes`.
+  void* allocate_bytes(std::size_t bytes);
+
+  /// Free a block previously returned by allocate. The order is recovered
+  /// from the per-page side table (and double frees are detected).
+  void free(void* p);
+
+  /// Byte size of the live allocation starting at `p` (asserts that `p`
+  /// is a live TBuddy allocation).
+  std::size_t allocation_size(const void* p) const;
+
+  /// Ablation knob (bench/abl_tbuddy_scatter): disable the randomized
+  /// descent so every thread probes the tree leftmost-first, reproducing
+  /// the collision-prone traversal the paper's scattering avoids.
+  void set_scatter(bool on) { scatter_ = on; }
+
+  /// Simulation knob: scheduling points per tree level during the
+  /// descent, modeling the dependent global-memory reads of node states
+  /// on real hardware. 0 (default) keeps descents atomic under the
+  /// cooperative scheduler, which hides claim collisions entirely; the
+  /// scatter ablation sets 1 so concurrent descents actually interleave.
+  void set_descent_latency(std::uint32_t yields_per_level) {
+    descent_latency_ = yields_per_level;
+  }
+
+  std::uint32_t max_order() const { return max_order_; }
+  std::size_t page_size() const { return page_size_; }
+  std::size_t pool_bytes() const { return pool_bytes_; }
+  void* pool_base() const { return pool_; }
+
+  /// Does `p` lie inside the managed pool?
+  bool contains(const void* p) const {
+    const auto a = reinterpret_cast<std::uintptr_t>(p);
+    const auto b = reinterpret_cast<std::uintptr_t>(pool_);
+    return a >= b && a < b + pool_bytes_;
+  }
+
+  /// Available blocks currently accounted at `order` (semaphore C value).
+  std::uint64_t available(std::uint32_t order) const;
+
+  /// Total free bytes accounted across all orders.
+  std::size_t free_bytes() const;
+
+  /// Size of the largest block allocatable right now (0 if none) — the
+  /// external-fragmentation probe used by the ablation benchmarks.
+  std::size_t largest_free_block() const;
+
+  TBuddyStats stats() const;
+
+  /// Test hook: walk the whole tree and verify both paper invariants plus
+  /// semaphore/tree agreement. Must be called on a quiescent allocator.
+  /// Returns true when consistent (details go to stderr otherwise).
+  bool check_consistency() const;
+
+ private:
+  enum State : std::uint8_t { kBusy = 0, kAvailable = 1, kPartial = 2 };
+  static constexpr std::uint8_t kStateMask = 0x3;
+  static constexpr std::uint8_t kLockBit = 0x4;
+
+  // --- node helpers (tree is 1-indexed; parent(i) = i/2) -----------------
+  std::uint32_t node_count() const { return 2u << max_order_; }
+  static std::uint32_t parent_of(std::uint32_t i) { return i >> 1; }
+  static std::uint32_t sibling_of(std::uint32_t i) { return i ^ 1; }
+  static std::uint32_t left_child(std::uint32_t i) { return i << 1; }
+  std::uint32_t height_of(std::uint32_t i) const;
+  /// First node index at height h.
+  std::uint32_t level_base(std::uint32_t h) const {
+    return 1u << (max_order_ - h);
+  }
+  void* node_addr(std::uint32_t i) const;
+  std::uint32_t node_at(const void* p, std::uint32_t order) const;
+
+  State state_of(std::uint32_t i) const;
+  void lock_node(std::uint32_t i);
+  void unlock_node(std::uint32_t i);
+  void set_state_locked(std::uint32_t i, State s);
+
+  /// Derived state of an interior node from its (lock-frozen) children.
+  State derive(std::uint32_t i) const;
+
+  /// Recompute ancestor states starting at `i`, hand-over-hand upward,
+  /// stopping as soon as a recomputation is a no-op.
+  void fixup_from(std::uint32_t i);
+
+  /// Claim an Available node (-> Busy) under (parent, node) locks.
+  bool try_claim(std::uint32_t i);
+  /// Release an owned node (-> Available) under locks; returns true if the
+  /// release instead merged with an Available sibling (both -> parent).
+  void release_node(std::uint32_t i);
+
+  /// Scattered descent for an Available node of height `order`; retries
+  /// until claimed (unit-holder guarantee). Returns the node index.
+  std::uint32_t find_and_claim(std::uint32_t order);
+
+  /// Free-side merge cascade; consumes ownership of node `i` at `order`.
+  void free_block(std::uint32_t i, std::uint32_t order);
+
+  void* pool_;
+  std::size_t pool_bytes_;
+  std::size_t page_size_;
+  std::uint32_t max_order_;
+  bool scatter_ = true;
+  std::uint32_t descent_latency_ = 0;
+
+  std::vector<std::uint8_t> node_state_;       // state+lock byte per node
+  std::vector<std::uint8_t> order_of_page_;    // 0xFF = no allocation start
+  std::vector<std::unique_ptr<sync::BulkSemaphore>> sems_;  // per order
+
+  mutable std::atomic<std::uint64_t> st_allocs_{0};
+  mutable std::atomic<std::uint64_t> st_frees_{0};
+  mutable std::atomic<std::uint64_t> st_splits_{0};
+  mutable std::atomic<std::uint64_t> st_merges_{0};
+  mutable std::atomic<std::uint64_t> st_failed_{0};
+  mutable std::atomic<std::uint64_t> st_retries_{0};
+};
+
+}  // namespace toma::alloc

@@ -1,0 +1,724 @@
+#include "alloc/ualloc.hpp"
+
+#include <cstdio>
+#include <new>
+
+#include "gpusim/this_thread.hpp"
+#include "sync/backoff.hpp"
+#include "util/assert.hpp"
+#include "util/bitops.hpp"
+
+namespace toma::alloc {
+
+namespace {
+
+/// Coalesce with warp-mates contending for the same object when running
+/// inside a kernel; degrade to a singleton group otherwise.
+gpu::CoalescedGroup group_for(const void* tag) {
+  if (gpu::ThreadCtx* ctx = gpu::this_thread::current()) {
+    return gpu::coalesce_warp(*ctx, tag);
+  }
+  return gpu::CoalescedGroup::singleton(gpu::this_thread::scatter_seed());
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Arena
+// ---------------------------------------------------------------------------
+
+Arena::Arena(UAlloc& parent, std::uint32_t index)
+    : parent_(&parent), index_(index) {
+  classes_.reserve(kNumSizeClasses);
+  for (std::uint32_t c = 0; c < kNumSizeClasses; ++c) {
+    classes_.push_back(std::make_unique<SizeClassState>(rcu_));
+  }
+}
+
+void* Arena::allocate(std::uint32_t cls) {
+  // Transparent request coalescing (paper §2.2): warp-mates concurrently
+  // allocating the same class take a specialized group path. Only when
+  // one bin can hold a whole warp's worth of blocks.
+  constexpr std::uint32_t kWarpSize = 32;
+  if (parent_->coalesce_ && parent_->class_capacity(cls) >= kWarpSize) {
+    if (gpu::ThreadCtx* ctx = gpu::this_thread::current()) {
+      return allocate_coalesced(cls, *ctx);
+    }
+  }
+  return allocate_individual(cls);
+}
+
+void* Arena::allocate_individual(std::uint32_t cls) {
+  SizeClassState& cs = *classes_[cls];
+  const std::uint32_t cap = parent_->class_capacity(cls);
+
+  // Stage 1: accounting. Either a claimable block is guaranteed to exist
+  // (kAcquired) or we are elected to produce a fresh bin (kMustGrow).
+  const auto res = cs.blocks.wait(1, cap);
+  if (res == sync::BulkSemaphore::WaitResult::kAcquired) {
+    return claim_block(cls);
+  }
+  void* p = grow_bin(cls);
+  if (p == nullptr) {
+    cs.blocks.signal(0, cap - 1);  // growth failed; let waiters re-decide
+  }
+  return p;
+}
+
+void* Arena::allocate_coalesced(std::uint32_t cls, gpu::ThreadCtx& ctx) {
+  SizeClassState& cs = *classes_[cls];
+  const std::uint32_t cap = parent_->class_capacity(cls);
+
+  const gpu::CoalescedGroup g = gpu::coalesce_warp(ctx, &cs);
+  if (g.size() == 1) return allocate_individual(cls);
+
+  // Broadcast protocol: 0 = grow failed (OOM for everyone),
+  // 1 = leader acquired units for the whole group (claim individually),
+  // otherwise = pointer to a fresh bin whose blocks [0, size) are ours.
+  constexpr std::uint64_t kFailed = 0;
+  constexpr std::uint64_t kClaim = 1;
+
+  if (g.is_leader()) {
+    const auto res = cs.blocks.wait(g.size(), cap);
+    if (res == sync::BulkSemaphore::WaitResult::kAcquired) {
+      gpu::warp_broadcast(ctx, g, kClaim);
+      return claim_block(cls);
+    }
+    // Grow once for the whole group: one bin, blocks 0..size-1 pre-taken.
+    BinHeader* bin = create_bin(cls, g.size());
+    if (bin == nullptr) {
+      cs.blocks.signal(0, cap - g.size());
+      gpu::warp_broadcast(ctx, g, kFailed);
+      return nullptr;
+    }
+    parent_->st_allocs_.fetch_add(1, std::memory_order_relaxed);
+    gpu::warp_broadcast(ctx, g, reinterpret_cast<std::uint64_t>(bin));
+    return parent_->block_addr(bin, 0);
+  }
+
+  const std::uint64_t v = gpu::warp_broadcast(ctx, g, 0);
+  if (v == kFailed) return nullptr;
+  if (v == kClaim) return claim_block(cls);
+  auto* bin = reinterpret_cast<BinHeader*>(v);
+  parent_->st_allocs_.fetch_add(1, std::memory_order_relaxed);
+  return parent_->block_addr(bin, g.rank());
+}
+
+void* Arena::claim_block(std::uint32_t cls) {
+  SizeClassState& cs = *classes_[cls];
+  UAlloc& ua = *parent_;
+  sync::Backoff bo;
+  for (;;) {
+    BinHeader* exhausted = nullptr;
+    void* result = nullptr;
+    {
+      // Stage 2: tracking. Walk the listed bins under RCU and claim a
+      // block from the first bin whose free counter we can decrement.
+      sync::RcuReadGuard guard(rcu_);
+      for (sync::RcuListNode* n = cs.bins.reader_begin();
+           !cs.bins.is_end(n) && result == nullptr;
+           n = sync::RcuList::reader_next(n)) {
+        BinHeader* bin = UAlloc::bin_of_node(n);
+        std::uint32_t fc = bin->free_count.load(std::memory_order_acquire);
+        while (fc > 0) {
+          if (bin->free_count.compare_exchange_weak(
+                  fc, fc - 1, std::memory_order_acq_rel,
+                  std::memory_order_acquire)) {
+            // The decrement reserved a bitmap bit: one must be claimable.
+            std::uint32_t idx;
+            util::AtomicBitmapRef bm = bin->bitmap();
+            while ((idx = bm.claim_clear_bit(
+                        gpu::this_thread::scatter_seed())) ==
+                   util::AtomicBitmapRef::kNone) {
+              gpu::this_thread::yield();
+            }
+            result = ua.block_addr(bin, idx);
+            if (fc == 1) exhausted = bin;  // we took the last block
+            break;
+          }
+        }
+      }
+    }
+    if (result != nullptr) {
+      // Outside the read-side critical section: a grace period may be
+      // needed to unlink the bin we exhausted.
+      if (exhausted != nullptr) ua.maybe_unlink_exhausted(exhausted);
+      ua.st_allocs_.fetch_add(1, std::memory_order_relaxed);
+      return result;
+    }
+    ua.st_list_retries_.fetch_add(1, std::memory_order_relaxed);
+    bo.pause();
+  }
+}
+
+void* Arena::grow_bin(std::uint32_t cls) {
+  BinHeader* bin = create_bin(cls, /*pre_claimed=*/1);
+  if (bin == nullptr) return nullptr;
+  parent_->st_allocs_.fetch_add(1, std::memory_order_relaxed);
+  return parent_->block_addr(bin, 0);
+}
+
+BinHeader* Arena::create_bin(std::uint32_t cls, std::uint32_t pre_claimed) {
+  UAlloc& ua = *parent_;
+  TOMA_DASSERT(pre_claimed >= 1 && pre_claimed <= ua.class_capacity(cls));
+  void* base = claim_bin_slot();
+  if (base == nullptr) return nullptr;
+
+  char* cbase = static_cast<char*>(
+      reinterpret_cast<void*>(util::align_down(
+          reinterpret_cast<std::uintptr_t>(base), kChunkSize)));
+  auto* chunk = reinterpret_cast<ChunkHeader*>(cbase);
+  TOMA_DASSERT(chunk->magic == ChunkHeader::kMagic);
+
+  auto* bin = new (base) BinHeader{};
+  bin->chunk = chunk;
+  bin->size_class = static_cast<std::uint8_t>(cls);
+  bin->bin_index = static_cast<std::uint8_t>(
+      (static_cast<char*>(base) - cbase) / kBinSize);
+  bin->capacity = static_cast<std::uint16_t>(ua.class_capacity(cls));
+  util::AtomicBitmapRef bm = bin->bitmap();
+  bm.reset();
+  for (std::uint32_t b = 0; b < pre_claimed; ++b) {
+    const bool took = bm.try_set(b);  // creators' blocks
+    TOMA_DASSERT(took);
+    (void)took;
+  }
+  bin->free_count.store(bin->capacity - pre_claimed,
+                        std::memory_order_relaxed);
+  bin->parked.store(0, std::memory_order_relaxed);
+  // kRelisting marks "insertion in progress" so a racing free parks its
+  // unit and leaves the listing to us.
+  bin->state.store(BinState::kRelisting, std::memory_order_release);
+
+  SizeClassState& cs = *classes_[cls];
+  cs.bins.writer_lock();
+  cs.bins.push_front_locked(&bin->list_node);
+  cs.bins.writer_unlock();
+  cs.listed.fetch_add(1, std::memory_order_acq_rel);
+  bin->cold_lock.lock();
+  bin->state.store(BinState::kListed, std::memory_order_release);
+  bin->cold_lock.unlock();
+
+  cs.blocks.signal(bin->capacity - pre_claimed,
+                   bin->capacity - pre_claimed);
+  ua.st_bins_created_.fetch_add(1, std::memory_order_relaxed);
+  ua.drain_parked(bin);  // pick up frees that raced the insertion
+  return bin;
+}
+
+void* Arena::claim_bin_slot() {
+  UAlloc& ua = *parent_;
+  const auto res = bin_slots_.wait(1, kDataBins);
+
+  if (res == sync::BulkSemaphore::WaitResult::kAcquired) {
+    sync::Backoff bo;
+    for (;;) {
+      // The unit guarantees a clear bin bit exists in some listed chunk;
+      // chunks are only unlisted by retirement, which consumed its slots
+      // first. Traverse under the collective mutex (paper §4.2.2).
+      gpu::CoalescedGroup g = group_for(&chunk_mu_);
+      void* found = nullptr;
+      {
+        sync::CollectiveLockGuard lk(chunk_mu_, g);
+        for (ChunkHeader& ch : chunks_) {
+          const std::uint32_t idx = ch.bin_bitmap().claim_clear_bit(
+              gpu::this_thread::scatter_seed());
+          if (idx != util::AtomicBitmapRef::kNone) {
+            found = reinterpret_cast<char*>(&ch) + idx * kBinSize;
+            break;
+          }
+        }
+      }
+      if (found != nullptr) return found;
+      bo.pause();
+    }
+  }
+
+  // kMustGrow: carve a fresh chunk out of TBuddy. Warp-mates growing at
+  // the same time coalesce and enter the chunk-list critical section
+  // together, each publishing its own chunk.
+  void* mem = ua.buddy_->allocate(kChunkOrder);
+  if (mem == nullptr) {
+    bin_slots_.signal(0, kDataBins - 1);
+    return nullptr;
+  }
+  TOMA_DASSERT(util::is_aligned(mem, kChunkSize));
+  auto* chunk = new (mem) ChunkHeader{};
+  chunk->arena = this;
+  chunk->magic = ChunkHeader::kMagic;
+  util::AtomicBitmapRef bm = chunk->bin_bitmap();
+  bm.reset();
+  for (std::uint32_t b = 0; b < kHeaderBins; ++b) {
+    const bool ok = bm.try_set(b);  // header bins are never allocatable
+    TOMA_DASSERT(ok);
+    (void)ok;
+  }
+  const bool ok2 = bm.try_set(kHeaderBins);  // our own bin slot (bin 2)
+  TOMA_DASSERT(ok2);
+  (void)ok2;
+
+  {
+    gpu::CoalescedGroup g = group_for(&chunk_mu_);
+    sync::CollectiveLockGuard lk(chunk_mu_, g);
+    // Intra-group serialization for the actual pointer splice: group
+    // members hold the collective mutex together and take turns here.
+    list_splice_mu_.lock();
+    chunks_.push_back(chunk);
+    list_splice_mu_.unlock();
+  }
+  bin_slots_.signal(kDataBins - 1, kDataBins - 1);
+  ua.st_chunks_created_.fetch_add(1, std::memory_order_relaxed);
+  return static_cast<char*>(mem) + kHeaderBins * kBinSize;
+}
+
+// ---------------------------------------------------------------------------
+// UAlloc: construction and the hot entry points
+// ---------------------------------------------------------------------------
+
+UAlloc::UAlloc(TBuddy& buddy, std::uint32_t num_arenas, bool use_tails)
+    : buddy_(&buddy), use_tails_(use_tails) {
+  TOMA_ASSERT(num_arenas > 0);
+  TOMA_ASSERT_MSG(buddy.page_size() == kPageSize,
+                  "UAlloc geometry assumes 4 KB pages");
+  arenas_.reserve(num_arenas);
+  for (std::uint32_t i = 0; i < num_arenas; ++i) {
+    arenas_.push_back(std::make_unique<Arena>(*this, i));
+  }
+}
+
+UAlloc::~UAlloc() = default;
+
+void* UAlloc::allocate(std::size_t size) {
+  TOMA_DASSERT(util::is_pow2(size));
+  TOMA_DASSERT(size >= kMinAlloc && size <= kMaxUAllocSize);
+  const std::uint32_t cls = size_class_of(size);
+  const std::uint32_t a = gpu::this_thread::sm_id_or_hash(
+      static_cast<std::uint32_t>(arenas_.size()));
+  return arenas_[a]->allocate(cls);
+}
+
+void UAlloc::free(void* p) {
+  std::uint32_t idx;
+  BinHeader* bin = decode(p, &idx);
+  bin->bitmap().release_bit(idx);
+  st_frees_.fetch_add(1, std::memory_order_relaxed);
+  publish_free_block(bin);
+}
+
+std::size_t UAlloc::usable_size(void* p) const {
+  std::uint32_t idx;
+  BinHeader* bin = decode(p, &idx);
+  return size_of_class(bin->size_class);
+}
+
+// ---------------------------------------------------------------------------
+// Bin lifecycle
+// ---------------------------------------------------------------------------
+
+void UAlloc::publish_free_block(BinHeader* bin) {
+  bin->parked.fetch_add(1, std::memory_order_acq_rel);
+  drain_parked(bin);
+}
+
+void UAlloc::drain_parked(BinHeader* bin) {
+  SizeClassState& cs = class_state(bin);
+  for (;;) {
+    bin->cold_lock.lock();
+    const BinState st = bin->state.load(std::memory_order_acquire);
+
+    if (st == BinState::kListed) {
+      const std::uint32_t k =
+          bin->parked.exchange(0, std::memory_order_acq_rel);
+      if (k == 0) {
+        bin->cold_lock.unlock();
+        return;
+      }
+      const std::uint32_t fc =
+          bin->free_count.fetch_add(k, std::memory_order_acq_rel) + k;
+      if (fc == bin->capacity && try_retire_bin(bin, k)) {
+        // try_retire_bin released the cold lock and consumed the blocks;
+        // the k parked units must not be signaled.
+        return;
+      }
+      bin->cold_lock.unlock();
+      cs.blocks.signal(k, 0);
+      return;
+    }
+
+    if (st == BinState::kUnlisted) {
+      if (bin->parked.load(std::memory_order_acquire) == 0) {
+        bin->cold_lock.unlock();
+        return;
+      }
+      bin->state.store(BinState::kRelisting, std::memory_order_release);
+      bin->cold_lock.unlock();
+      cs.bins.writer_lock();
+      cs.bins.push_front_locked(&bin->list_node);
+      cs.bins.writer_unlock();
+      cs.listed.fetch_add(1, std::memory_order_acq_rel);
+      bin->cold_lock.lock();
+      bin->state.store(BinState::kListed, std::memory_order_release);
+      bin->cold_lock.unlock();
+      st_bin_relists_.fetch_add(1, std::memory_order_relaxed);
+      continue;  // now drain the parked units into the semaphore
+    }
+
+    // kDraining / kRelisting / kRetiring: the transition owner calls
+    // drain_parked again once the state settles, and will see our parked
+    // units (parked before this lock, drained under a later one).
+    bin->cold_lock.unlock();
+    return;
+  }
+}
+
+void UAlloc::maybe_unlink_exhausted(BinHeader* bin) {
+  bin->cold_lock.lock();
+  if (bin->state.load(std::memory_order_acquire) != BinState::kListed ||
+      bin->free_count.load(std::memory_order_acquire) != 0) {
+    bin->cold_lock.unlock();
+    return;
+  }
+  // With fc == 0 under the cold lock the counter is stable: claims are
+  // gated by fc > 0 and drains hold this lock.
+  bin->state.store(BinState::kDraining, std::memory_order_release);
+  bin->cold_lock.unlock();
+
+  SizeClassState& cs = class_state(bin);
+  cs.bins.writer_lock();
+  cs.bins.unlink_locked(&bin->list_node);
+  cs.bins.writer_unlock();
+  cs.listed.fetch_sub(1, std::memory_order_acq_rel);
+  st_bin_unlinks_.fetch_add(1, std::memory_order_relaxed);
+
+  // Deferred completion: the bin may be re-linked only after every reader
+  // that might still be traversing it has exited. Delegated to an
+  // already-waiting barrier whenever possible (paper §4.2.1).
+  bin->rcu_cb.fn = &UAlloc::drain_grace_cb;
+  class_arena(bin).rcu().barrier_conditional(&bin->rcu_cb);
+}
+
+bool UAlloc::try_retire_bin(BinHeader* bin, std::uint32_t unsignaled) {
+  // Preconditions: cold lock held, state == kListed, free_count just
+  // reached capacity (all blocks free, none outstanding => no concurrent
+  // frees are possible; only claims race with us, gated by the CAS).
+  SizeClassState& cs = class_state(bin);
+  // Hysteresis: keep the last listed bin of a class as a cache even when
+  // fully free. Alloc/free oscillation would otherwise retire and regrow
+  // a bin (one RCU grace period + one chunk-bitmap round-trip) on every
+  // cycle; real allocators retain empty containers for exactly this
+  // reason. trim() overrides the policy for explicit scavenging. Checked
+  // before the gate CAS: an early return must leave free_count intact.
+  if (!bin->retire_even_if_last &&
+      cs.listed.load(std::memory_order_acquire) < 2) {
+    return false;
+  }
+  std::uint32_t expect = bin->capacity;
+  if (!bin->free_count.compare_exchange_strong(expect, 0,
+                                               std::memory_order_acq_rel,
+                                               std::memory_order_relaxed)) {
+    return false;  // a claim slipped in; the bin is live again
+  }
+  const std::uint32_t need = bin->capacity - unsignaled;
+  if (need > 0 && !cs.blocks.try_wait(need)) {
+    // Units are out with active claimants; retiring now would starve
+    // them. Restore visibility and carry on.
+    bin->free_count.store(bin->capacity, std::memory_order_release);
+    return false;
+  }
+  bin->state.store(BinState::kRetiring, std::memory_order_release);
+  bin->cold_lock.unlock();
+
+  cs.bins.writer_lock();
+  cs.bins.unlink_locked(&bin->list_node);
+  cs.bins.writer_unlock();
+  cs.listed.fetch_sub(1, std::memory_order_acq_rel);
+
+  bin->rcu_cb.fn = &UAlloc::retire_grace_cb;
+  class_arena(bin).rcu().barrier_conditional(&bin->rcu_cb);
+  return true;
+}
+
+void UAlloc::drain_grace_cb(sync::RcuCallback* cb) {
+  BinHeader* bin = bin_of_cb(cb);
+  bin->chunk->arena->parent().finish_drain(bin);
+}
+
+void UAlloc::retire_grace_cb(sync::RcuCallback* cb) {
+  BinHeader* bin = bin_of_cb(cb);
+  bin->chunk->arena->parent().finish_retire(bin);
+}
+
+void UAlloc::finish_drain(BinHeader* bin) {
+  bin->cold_lock.lock();
+  TOMA_DASSERT(bin->state.load(std::memory_order_relaxed) ==
+               BinState::kDraining);
+  bin->state.store(BinState::kUnlisted, std::memory_order_release);
+  bin->cold_lock.unlock();
+  // Frees that parked while we drained get published (and relist us) now.
+  drain_parked(bin);
+}
+
+void UAlloc::finish_retire(BinHeader* bin) {
+  TOMA_DASSERT(bin->state.load(std::memory_order_relaxed) ==
+               BinState::kRetiring);
+  TOMA_DASSERT(bin->parked.load(std::memory_order_relaxed) == 0);
+  st_bins_retired_.fetch_add(1, std::memory_order_relaxed);
+  release_bin_slot(bin);
+}
+
+void UAlloc::release_bin_slot(BinHeader* bin) {
+  ChunkHeader* chunk = bin->chunk;
+  Arena* arena = chunk->arena;
+  const std::uint32_t slot = bin->bin_index;
+  bin->~BinHeader();  // the header area is dead until the slot is reused
+  chunk->bin_bitmap().release_bit(slot);
+  arena->bin_slots_.signal(1, 0);
+  maybe_retire_chunk(chunk);
+}
+
+void UAlloc::maybe_retire_chunk(ChunkHeader* chunk) {
+  // Gate: atomically flip "only header bins used" -> "all used" so no
+  // claimer can take a slot while we decide.
+  constexpr std::uint64_t kEmptyPattern = 0x3;  // bins 0,1
+  std::atomic_ref<std::uint64_t> word(chunk->bin_bitmap_word);
+  std::uint64_t expect = kEmptyPattern;
+  if (!word.compare_exchange_strong(expect, ~std::uint64_t{0},
+                                    std::memory_order_acq_rel,
+                                    std::memory_order_relaxed)) {
+    return;  // chunk still hosts bins
+  }
+  Arena* arena = chunk->arena;
+  if (!arena->bin_slots_.try_wait(kDataBins)) {
+    // Slots are spoken for; un-gate and keep the chunk.
+    word.store(kEmptyPattern, std::memory_order_release);
+    return;
+  }
+  {
+    gpu::CoalescedGroup g = group_for(&arena->chunk_mu_);
+    sync::CollectiveLockGuard lk(arena->chunk_mu_, g);
+    arena->list_splice_mu_.lock();
+    arena->chunks_.erase(chunk);
+    arena->list_splice_mu_.unlock();
+  }
+  st_chunks_retired_.fetch_add(1, std::memory_order_relaxed);
+  chunk->~ChunkHeader();
+  buddy_->free(chunk);
+}
+
+std::size_t UAlloc::trim() {
+  const std::uint64_t chunks_before =
+      st_chunks_retired_.load(std::memory_order_relaxed);
+  for (auto& arena : arenas_) {
+    // Flush any deferred reclamations still queued in the domain.
+    arena->rcu_.synchronize();
+    for (std::uint32_t c = 0; c < kNumSizeClasses; ++c) {
+      SizeClassState& cs = *arena->classes_[c];
+      for (;;) {
+        // Pick one fully-free listed bin per pass; retiring unlinks it, so
+        // restart the traversal each time.
+        BinHeader* victim = nullptr;
+        {
+          sync::RcuReadGuard guard(arena->rcu_);
+          for (sync::RcuListNode* n = cs.bins.reader_begin();
+               !cs.bins.is_end(n); n = sync::RcuList::reader_next(n)) {
+            BinHeader* bin = bin_of_node(n);
+            if (bin->free_count.load(std::memory_order_acquire) ==
+                bin->capacity) {
+              victim = bin;
+              break;
+            }
+          }
+        }
+        if (victim == nullptr) break;
+        victim->cold_lock.lock();
+        bool retired = false;
+        if (victim->state.load(std::memory_order_acquire) ==
+            BinState::kListed) {
+          victim->retire_even_if_last = true;
+          retired = try_retire_bin(victim, /*unsignaled=*/0);
+          if (!retired) victim->retire_even_if_last = false;
+        }
+        if (!retired) {
+          victim->cold_lock.unlock();
+          break;  // contended or no longer free; try again another time
+        }
+      }
+    }
+    // Chunk scan: snapshot candidates under the list mutex, then attempt
+    // retirement outside it (maybe_retire_chunk re-takes the mutex).
+    std::vector<ChunkHeader*> candidates;
+    {
+      arena->chunk_mu_.lock();
+      arena->list_splice_mu_.lock();
+      for (ChunkHeader& ch : arena->chunks_) {
+        std::atomic_ref<std::uint64_t> word(ch.bin_bitmap_word);
+        if (word.load(std::memory_order_acquire) == 0x3) {
+          candidates.push_back(&ch);
+        }
+      }
+      arena->list_splice_mu_.unlock();
+      arena->chunk_mu_.unlock();
+    }
+    for (ChunkHeader* ch : candidates) maybe_retire_chunk(ch);
+  }
+  return static_cast<std::size_t>(
+      st_chunks_retired_.load(std::memory_order_relaxed) - chunks_before);
+}
+
+// ---------------------------------------------------------------------------
+// Geometry
+// ---------------------------------------------------------------------------
+
+SizeClassState& UAlloc::class_state(BinHeader* bin) {
+  return *bin->chunk->arena->classes_[bin->size_class];
+}
+
+Arena& UAlloc::class_arena(BinHeader* bin) { return *bin->chunk->arena; }
+
+BinHeader* UAlloc::bin_of_node(sync::RcuListNode* n) {
+  return reinterpret_cast<BinHeader*>(
+      reinterpret_cast<char*>(n) - offsetof(BinHeader, list_node));
+}
+
+BinHeader* UAlloc::bin_of_cb(sync::RcuCallback* cb) {
+  return reinterpret_cast<BinHeader*>(
+      reinterpret_cast<char*>(cb) - offsetof(BinHeader, rcu_cb));
+}
+
+char* UAlloc::chunk_base(const BinHeader* bin) const {
+  return reinterpret_cast<char*>(bin->chunk);
+}
+
+void* UAlloc::block_addr(BinHeader* bin, std::uint32_t idx) const {
+  const std::size_t s = size_of_class(bin->size_class);
+  const std::size_t logical = static_cast<std::size_t>(idx) * s;
+  TOMA_DASSERT(logical + s <= (s <= kTailSize ? kBinLogicalSize
+                                              : kBinDataSize));
+  if (logical < kBinDataSize) {
+    return reinterpret_cast<char*>(bin) + kBinHeaderSize + logical;
+  }
+  // The block lives in the bin's tail, inside header bin 0 or 1.
+  char* cbase = chunk_base(bin);
+  const std::uint32_t bi = bin->bin_index;
+  char* tail = bi <= 32
+                   ? cbase + kBinHeaderSize + (bi - 2) * kTailSize
+                   : cbase + kBinSize + kBinHeaderSize + (bi - 33) * kTailSize;
+  return tail + (logical - kBinDataSize);
+}
+
+BinHeader* UAlloc::decode(void* p, std::uint32_t* block_idx) const {
+  TOMA_ASSERT_MSG(buddy_->contains(p), "free of a pointer outside the pool");
+  char* cbase = reinterpret_cast<char*>(
+      util::align_down(reinterpret_cast<std::uintptr_t>(p), kChunkSize));
+  auto* chunk = reinterpret_cast<ChunkHeader*>(cbase);
+  TOMA_ASSERT_MSG(chunk->magic == ChunkHeader::kMagic,
+                  "free target is not inside a UAlloc chunk");
+
+  const std::size_t off = static_cast<char*>(p) - cbase;
+  std::size_t bi = off / kBinSize;
+  const std::size_t inner = off % kBinSize;
+  TOMA_ASSERT_MSG(inner >= kBinHeaderSize, "free points into a bin header");
+  std::size_t logical;
+  if (bi >= kHeaderBins) {
+    logical = inner - kBinHeaderSize;
+  } else {
+    const std::size_t slot = (inner - kBinHeaderSize) / kTailSize;
+    const std::size_t delta = (inner - kBinHeaderSize) % kTailSize;
+    bi = (bi == 0) ? kHeaderBins + slot : kHeaderBins + 31 + slot;
+    logical = kBinDataSize + delta;
+  }
+  auto* bin = reinterpret_cast<BinHeader*>(cbase + bi * kBinSize);
+  const std::size_t s = size_of_class(bin->size_class);
+  TOMA_ASSERT_MSG(logical % s == 0, "free of a misaligned interior pointer");
+  *block_idx = static_cast<std::uint32_t>(logical / s);
+  return bin;
+}
+
+// ---------------------------------------------------------------------------
+// Statistics and consistency
+// ---------------------------------------------------------------------------
+
+UAllocStats UAlloc::stats() const {
+  UAllocStats s;
+  s.allocs = st_allocs_.load(std::memory_order_relaxed);
+  s.frees = st_frees_.load(std::memory_order_relaxed);
+  s.bins_created = st_bins_created_.load(std::memory_order_relaxed);
+  s.bins_retired = st_bins_retired_.load(std::memory_order_relaxed);
+  s.chunks_created = st_chunks_created_.load(std::memory_order_relaxed);
+  s.chunks_retired = st_chunks_retired_.load(std::memory_order_relaxed);
+  s.bin_unlinks = st_bin_unlinks_.load(std::memory_order_relaxed);
+  s.bin_relists = st_bin_relists_.load(std::memory_order_relaxed);
+  s.list_retries = st_list_retries_.load(std::memory_order_relaxed);
+  return s;
+}
+
+bool UAlloc::check_consistency() const {
+  bool ok = true;
+  for (const auto& arena : arenas_) {
+    for (std::uint32_t c = 0; c < kNumSizeClasses; ++c) {
+      SizeClassState& cs = *arena->classes_[c];
+      const auto snap = cs.blocks.snapshot();
+      if (snap.expected != 0 || snap.reserved != 0) {
+        std::fprintf(stderr,
+                     "UAlloc: arena %u class %u semaphore not quiescent\n",
+                     arena->index_, c);
+        ok = false;
+      }
+      // Sum claimable blocks over listed bins and compare with C.
+      std::uint64_t claimable = 0;
+      for (sync::RcuListNode* n = cs.bins.reader_begin(); !cs.bins.is_end(n);
+           n = sync::RcuList::reader_next(n)) {
+        BinHeader* bin = bin_of_node(n);
+        if (bin->state.load() != BinState::kListed) {
+          std::fprintf(stderr, "UAlloc: linked bin not in kListed state\n");
+          ok = false;
+        }
+        if (bin->parked.load() != 0) {
+          std::fprintf(stderr, "UAlloc: quiescent bin has parked units\n");
+          ok = false;
+        }
+        const std::uint32_t fc = bin->free_count.load();
+        const std::uint32_t used = bin->bitmap().count();
+        if (used + fc != bin->capacity) {
+          std::fprintf(stderr,
+                       "UAlloc: bin bitmap (%u used) disagrees with free "
+                       "count %u (capacity %u)\n",
+                       used, fc, bin->capacity);
+          ok = false;
+        }
+        claimable += fc;
+      }
+      if (snap.value != claimable) {
+        std::fprintf(stderr,
+                     "UAlloc: arena %u class %u semaphore C=%llu but %llu "
+                     "claimable blocks\n",
+                     arena->index_, c,
+                     static_cast<unsigned long long>(snap.value),
+                     static_cast<unsigned long long>(claimable));
+        ok = false;
+      }
+    }
+    const auto bsnap = arena->bin_slots_.snapshot();
+    if (bsnap.expected != 0 || bsnap.reserved != 0) {
+      std::fprintf(stderr, "UAlloc: arena %u bin-slot semaphore busy\n",
+                   arena->index_);
+      ok = false;
+    }
+    std::uint64_t free_slots = 0;
+    for (ChunkHeader& ch : arena->chunks_) {
+      free_slots += kBinsPerChunk - ch.bin_bitmap().count();
+    }
+    if (bsnap.value != free_slots) {
+      std::fprintf(stderr,
+                   "UAlloc: arena %u bin-slot semaphore C=%llu but %llu "
+                   "free slots\n",
+                   arena->index_,
+                   static_cast<unsigned long long>(bsnap.value),
+                   static_cast<unsigned long long>(free_slots));
+      ok = false;
+    }
+  }
+  return ok;
+}
+
+}  // namespace toma::alloc

@@ -1,0 +1,299 @@
+// UAlloc: the fine-grained UnAligned Allocator (paper §4.2).
+//
+// Memory layout (all constants in alloc/config.hpp):
+//
+//   arena  — one per SM; holds per-size-class bin free-lists and the
+//            chunk list. A thread allocates from the arena of the SM it
+//            runs on (hashed OS-thread id outside a kernel).
+//   chunk  — 512 KB from TBuddy, 512 KB aligned, split into 64 bins.
+//            Bin 0 starts with the 128 B chunk header; the remaining
+//            3,968 B of bins 0 and 1 are 62 tail slots of 128 B, one per
+//            data bin (bins 2..63).
+//   bin    — 4 KB, 4 KB aligned. 128 B header (512-bit occupancy bitmap +
+//            metadata), 3,968 B payload. For size classes <= 128 B the
+//            bin's tail is logically appended, making the payload a full
+//            4 KB — no space is lost to the header.
+//
+// Because every bin's first 128 B are metadata, no UAlloc block is ever
+// 4 KB aligned; TBuddy blocks always are. free() routes on that bit.
+//
+// Concurrency design (the part the paper's §3/§4 techniques exist for):
+//
+//   * Per (arena, class) accounting: a bulk semaphore counts claimable
+//     blocks across the class's listed bins (batch = bin capacity).
+//     wait() == kAcquired guarantees a claimable block exists; the thread
+//     traverses the bin list under RCU and claims bitmap bits lock-free.
+//     wait() == kMustGrow makes the thread construct a *new bin*.
+//   * Bin lists are RCU doubly-linked lists: exhausted bins are unlinked
+//     by writers and become reusable only after a grace period — the
+//     deferred step travels through the *conditional* RCU barrier, i.e.
+//     it is delegated to an already-waiting thread whenever possible.
+//   * Bin slots inside chunks use the same two-stage scheme (a per-arena
+//     bulk semaphore over chunk bitmaps, batch = 62); growing allocates a
+//     fresh chunk from TBuddy under the chunk list's *collective mutex*,
+//     so warp-mates needing chunks enter the critical section together.
+//   * Freed blocks are published with a parked-unit protocol: the freeing
+//     thread clears the bitmap bit, parks one unit on the bin, and the
+//     first actor that observes the bin in a stable list state (LISTED or
+//     UNLISTED->relist) converts parked units into semaphore signals.
+//     This keeps the invariant "semaphore value == claimable blocks in
+//     listed bins" across unlink/relist races with a tiny per-bin
+//     cold-path lock instead of a global one.
+//   * Fully-free bins retire their slot back to the chunk; fully-free
+//     chunks retire back to TBuddy — both opportunistically, gated by
+//     try_wait so accounting never goes negative (no false starvation,
+//     no phantom units).
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "alloc/config.hpp"
+#include "alloc/tbuddy.hpp"
+#include "gpusim/warp.hpp"
+#include "sync/bulk_semaphore.hpp"
+#include "sync/collective_mutex.hpp"
+#include "sync/rcu.hpp"
+#include "sync/rcu_list.hpp"
+#include "sync/spin_mutex.hpp"
+#include "util/atomic_bitmap.hpp"
+#include "util/intrusive_list.hpp"
+
+namespace toma::alloc {
+
+struct ChunkHeader;
+class UAlloc;
+
+/// Listing state of a bin relative to its size-class free-list.
+enum class BinState : std::uint32_t {
+  kUnlisted = 0,   // not in the list; relinkable
+  kListed = 1,     // reachable by readers
+  kDraining = 2,   // unlinked (exhausted), grace period pending
+  kRelisting = 3,  // being re-inserted
+  kRetiring = 4,   // unlinked (fully free), slot being returned
+};
+
+/// 128-byte header at the start of every bin, placement-initialized in
+/// pool memory.
+struct BinHeader {
+  std::uint64_t bitmap_words[8];  // 1 = block in use
+  sync::RcuListNode list_node;    // size-class free-list linkage
+  sync::RcuCallback rcu_cb;       // deferred unlink completion / retire
+  ChunkHeader* chunk;             // owning chunk (for arena backpointer)
+  std::atomic<std::uint32_t> free_count;  // claimable (signaled) blocks
+  std::atomic<std::uint32_t> parked;      // freed blocks not yet signaled
+  std::atomic<BinState> state;
+  sync::SpinMutex cold_lock;      // serializes list-state transitions
+  bool retire_even_if_last;       // trim() override of retire hysteresis
+  std::uint8_t size_class;
+  std::uint8_t bin_index;         // within chunk, 2..63
+  std::uint16_t capacity;
+
+  util::AtomicBitmapRef bitmap() {
+    return util::AtomicBitmapRef(bitmap_words, capacity);
+  }
+};
+static_assert(sizeof(BinHeader) <= kBinHeaderSize,
+              "bin header must fit in 128 bytes");
+
+/// 128-byte header at the start of every chunk (bin 0, offset 0).
+struct ChunkHeader {
+  std::uint64_t bin_bitmap_word;  // 1 = bin slot in use; bits 0,1 pre-set
+  util::ListNode chunk_node;      // arena chunk list linkage
+  class Arena* arena;             // owning arena
+  std::uint32_t magic;
+
+  util::AtomicBitmapRef bin_bitmap() {
+    return util::AtomicBitmapRef(&bin_bitmap_word, kBinsPerChunk);
+  }
+  static constexpr std::uint32_t kMagic = 0x75616c6cu;  // "uall"
+};
+static_assert(sizeof(ChunkHeader) <= kBinHeaderSize,
+              "chunk header must fit in 128 bytes");
+
+/// Per-(arena, size class) structures.
+struct SizeClassState {
+  explicit SizeClassState(sync::SrcuDomain& dom) : bins(dom) {}
+  sync::BulkSemaphore blocks;  // claimable blocks across listed bins
+  sync::RcuList bins;          // bins with (potentially) claimable blocks
+  std::atomic<std::uint32_t> listed{0};  // bins currently in the list
+};
+
+/// One arena; the paper assigns one per SM.
+class Arena {
+ public:
+  Arena(UAlloc& parent, std::uint32_t index);
+
+  Arena(const Arena&) = delete;
+  Arena& operator=(const Arena&) = delete;
+
+  void* allocate(std::uint32_t cls);
+
+  UAlloc& parent() { return *parent_; }
+  std::uint32_t index() const { return index_; }
+  sync::SrcuDomain& rcu() { return rcu_; }
+
+ private:
+  friend class UAlloc;
+
+  /// Single-thread allocation path (also the fallback).
+  void* allocate_individual(std::uint32_t cls);
+
+  /// Warp-coalesced path (paper §2.2: requests of warp-mates invoking the
+  /// allocator concurrently are transparently coalesced): the group's
+  /// leader performs ONE semaphore wait for the whole group, and on the
+  /// grow path ONE new bin serves every member. Only used in-kernel for
+  /// classes whose bins hold at least a warp's worth of blocks.
+  void* allocate_coalesced(std::uint32_t cls, gpu::ThreadCtx& ctx);
+
+  /// Claim one block from a listed bin of class `cls` (caller holds a
+  /// semaphore unit, so a block is guaranteed to exist eventually).
+  void* claim_block(std::uint32_t cls);
+
+  /// Build a new bin for `cls` (grow path); returns the first block or
+  /// nullptr on pool exhaustion. On success the bin is listed and the
+  /// class semaphore is signaled with capacity-1 units.
+  void* grow_bin(std::uint32_t cls);
+
+  /// Shared machinery of the grow paths: carve a bin slot, initialise the
+  /// header with blocks [0, pre_claimed) already taken, list the bin and
+  /// publish capacity - pre_claimed claimable units. nullptr on OOM (the
+  /// caller owns the semaphore failure signal).
+  BinHeader* create_bin(std::uint32_t cls, std::uint32_t pre_claimed);
+
+  /// Claim a bin slot in some chunk of this arena, growing a chunk from
+  /// TBuddy if needed. Returns the bin base address or nullptr (OOM).
+  void* claim_bin_slot();
+
+  UAlloc* parent_;
+  std::uint32_t index_;
+  sync::SrcuDomain rcu_;
+  std::vector<std::unique_ptr<SizeClassState>> classes_;
+  sync::BulkSemaphore bin_slots_;         // free bin slots in chunk list
+  util::IntrusiveList<ChunkHeader, &ChunkHeader::chunk_node> chunks_;
+  sync::CollectiveMutex chunk_mu_;        // guards chunks_ (collectively)
+  sync::SpinMutex list_splice_mu_;        // intra-group splice serialization
+};
+
+/// Aggregate UAlloc statistics.
+struct UAllocStats {
+  std::uint64_t allocs = 0;
+  std::uint64_t frees = 0;
+  std::uint64_t bins_created = 0;
+  std::uint64_t bins_retired = 0;
+  std::uint64_t chunks_created = 0;
+  std::uint64_t chunks_retired = 0;
+  std::uint64_t bin_unlinks = 0;
+  std::uint64_t bin_relists = 0;
+  std::uint64_t list_retries = 0;
+};
+
+class UAlloc {
+ public:
+  /// `num_arenas` is normally the simulated device's SM count.
+  /// `use_tails` disables the tail-append optimisation when false (the
+  /// A3 ablation: bins of classes <= 128 B then waste their header's
+  /// worth of payload, exactly the internal fragmentation §4.2 avoids).
+  UAlloc(TBuddy& buddy, std::uint32_t num_arenas, bool use_tails = true);
+  ~UAlloc();
+
+  UAlloc(const UAlloc&) = delete;
+  UAlloc& operator=(const UAlloc&) = delete;
+
+  /// Allocate a block of power-of-two `size` in [8, 1024] from the
+  /// calling thread's arena. nullptr on pool exhaustion.
+  void* allocate(std::size_t size);
+
+  /// Free a block previously returned by allocate (any thread).
+  void free(void* p);
+
+  /// Byte size of the block containing `p` (its size class).
+  std::size_t usable_size(void* p) const;
+
+  std::uint32_t num_arenas() const {
+    return static_cast<std::uint32_t>(arenas_.size());
+  }
+
+  /// Blocks per bin for a class under the current tail configuration.
+  std::uint32_t class_capacity(std::uint32_t cls) const {
+    if (use_tails_) return bin_capacity(cls);
+    return static_cast<std::uint32_t>(kBinDataSize / size_of_class(cls));
+  }
+
+  /// Ablation knob: disable the warp-coalesced allocation path.
+  void set_coalescing(bool on) { coalesce_ = on; }
+  TBuddy& buddy() { return *buddy_; }
+  Arena& arena(std::uint32_t i) { return *arenas_[i]; }
+
+  UAllocStats stats() const;
+
+  /// Scavenge fully-free bins and empty chunks back to TBuddy (the
+  /// malloc_trim analogue). Bin/chunk retirement on the free path is
+  /// opportunistic — it backs off rather than stall concurrent claimants —
+  /// so after heavy churn some empty bins/chunks stay cached; trim()
+  /// retires everything that is retirable right now. Safe to call
+  /// concurrently with allocation (it simply retires less). Returns the
+  /// number of chunks returned to TBuddy.
+  std::size_t trim();
+
+  /// Test hook: verify bitmap/free-count/semaphore agreement on a
+  /// quiescent allocator. Returns true when consistent.
+  bool check_consistency() const;
+
+ private:
+  friend class Arena;
+
+  // --- bin lifecycle (cold paths) -----------------------------------------
+  /// Publish one freed block of `bin` (bit already cleared): park a unit
+  /// and drain.
+  void publish_free_block(BinHeader* bin);
+  /// Convert parked units into semaphore signals / relists as the bin's
+  /// state allows. Safe to call from any thread at any time.
+  void drain_parked(BinHeader* bin);
+  /// Called by the claimer that took a bin's last claimable block.
+  void maybe_unlink_exhausted(BinHeader* bin);
+  /// Attempt to retire a fully-free bin. Called inside drain_parked with
+  /// the cold lock held and `unsignaled` parked units just folded into
+  /// free_count; on success the cold lock has been released and the
+  /// unsignaled units consumed.
+  bool try_retire_bin(BinHeader* bin, std::uint32_t unsignaled);
+  /// RCU grace-period completions.
+  static void drain_grace_cb(sync::RcuCallback* cb);
+  static void retire_grace_cb(sync::RcuCallback* cb);
+  void finish_drain(BinHeader* bin);
+  void finish_retire(BinHeader* bin);
+  /// Release a bin slot back to its chunk; retires the chunk when empty.
+  void release_bin_slot(BinHeader* bin);
+  void maybe_retire_chunk(ChunkHeader* chunk);
+
+  // --- geometry helpers ----------------------------------------------------
+  static SizeClassState& class_state(BinHeader* bin);
+  static Arena& class_arena(BinHeader* bin);
+  static BinHeader* bin_of_node(sync::RcuListNode* n);
+  static BinHeader* bin_of_cb(sync::RcuCallback* cb);
+  /// Address of block `idx` within `bin` (tail-aware).
+  void* block_addr(BinHeader* bin, std::uint32_t idx) const;
+  /// Reverse mapping for free(): find owning bin and block index.
+  BinHeader* decode(void* p, std::uint32_t* block_idx) const;
+  char* chunk_base(const BinHeader* bin) const;
+
+  TBuddy* buddy_;
+  bool use_tails_;
+  bool coalesce_ = true;
+  std::vector<std::unique_ptr<Arena>> arenas_;
+
+  mutable std::atomic<std::uint64_t> st_allocs_{0};
+  mutable std::atomic<std::uint64_t> st_frees_{0};
+  mutable std::atomic<std::uint64_t> st_bins_created_{0};
+  mutable std::atomic<std::uint64_t> st_bins_retired_{0};
+  mutable std::atomic<std::uint64_t> st_chunks_created_{0};
+  mutable std::atomic<std::uint64_t> st_chunks_retired_{0};
+  mutable std::atomic<std::uint64_t> st_bin_unlinks_{0};
+  mutable std::atomic<std::uint64_t> st_bin_relists_{0};
+  mutable std::atomic<std::uint64_t> st_list_retries_{0};
+};
+
+}  // namespace toma::alloc

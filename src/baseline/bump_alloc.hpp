@@ -1,0 +1,66 @@
+// BumpAllocator: the register-efficient "incrementing free pointer"
+// allocator of Vinkler & Havran (paper §2.2), kept as an ablation
+// baseline. Allocation is a single fetch_add — the fastest possible
+// coarse-grained allocator — but free() can only reclaim memory when
+// everything has been freed, so fragmentation is catastrophic under churn.
+// bench/abl_buddy_vs_bump quantifies exactly the trade-off that made the
+// paper choose a buddy system instead.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+
+#include "util/bitops.hpp"
+
+namespace toma::baseline {
+
+class BumpAllocator {
+ public:
+  BumpAllocator(void* pool, std::size_t pool_bytes)
+      : pool_(static_cast<char*>(pool)), pool_bytes_(pool_bytes) {}
+
+  BumpAllocator(const BumpAllocator&) = delete;
+  BumpAllocator& operator=(const BumpAllocator&) = delete;
+
+  void* malloc(std::size_t size) {
+    if (size == 0) return nullptr;
+    const std::size_t need = util::align_up(size, 16);
+    const std::size_t off =
+        cursor_.fetch_add(need, std::memory_order_relaxed);
+    if (off + need > pool_bytes_) {
+      cursor_.fetch_sub(need, std::memory_order_relaxed);
+      failed_.fetch_add(1, std::memory_order_relaxed);
+      return nullptr;
+    }
+    live_.fetch_add(1, std::memory_order_acq_rel);
+    return pool_ + off;
+  }
+
+  /// Frees reclaim nothing individually; when the last live allocation is
+  /// released the whole pool resets (the allocator's only recycling).
+  void free(void* p) {
+    if (p == nullptr) return;
+    if (live_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+      cursor_.store(0, std::memory_order_release);
+    }
+  }
+
+  std::size_t used_bytes() const {
+    return cursor_.load(std::memory_order_acquire);
+  }
+  std::size_t free_bytes() const { return pool_bytes_ - used_bytes(); }
+  std::size_t largest_free_block() const { return free_bytes(); }
+  std::uint64_t failed_allocs() const {
+    return failed_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  char* pool_;
+  std::size_t pool_bytes_;
+  std::atomic<std::size_t> cursor_{0};
+  std::atomic<std::int64_t> live_{0};
+  std::atomic<std::uint64_t> failed_{0};
+};
+
+}  // namespace toma::baseline

@@ -1,0 +1,190 @@
+#include "baseline/scatter_alloc.hpp"
+
+#include <cstdio>
+
+#include "gpusim/this_thread.hpp"
+#include "util/assert.hpp"
+#include "util/bitops.hpp"
+#include "util/prng.hpp"
+
+namespace toma::baseline {
+
+ScatterAllocLite::ScatterAllocLite(void* pool, std::size_t pool_bytes)
+    : pool_(static_cast<char*>(pool)), pool_bytes_(pool_bytes) {
+  TOMA_ASSERT(pool != nullptr);
+  TOMA_ASSERT(util::is_aligned(pool, kPageSize));
+  TOMA_ASSERT(pool_bytes >= kPageSize && pool_bytes % kPageSize == 0);
+  num_pages_ = pool_bytes / kPageSize;
+  page_table_.assign(num_pages_, kFreeWord);
+}
+
+std::uint8_t ScatterAllocLite::class_of_size(std::size_t size) {
+  const std::size_t rounded =
+      util::round_up_pow2(size < kMinAlloc ? kMinAlloc : size);
+  return static_cast<std::uint8_t>(util::log2_floor(rounded) -
+                                   util::log2_floor(kMinAlloc));
+}
+
+std::size_t ScatterAllocLite::payload_offset(std::uint8_t cls) {
+  const std::size_t s = class_size(cls);
+  if (s >= kPageSize) return 0;  // whole-page class: no bitmap needed
+  // 64 bytes of bitmap cover up to 512 blocks; round up to the block
+  // size so payload stays naturally aligned.
+  return util::align_up(64, s);
+}
+
+std::uint32_t ScatterAllocLite::class_capacity(std::uint8_t cls) {
+  const std::size_t s = class_size(cls);
+  if (s >= kPageSize) return 1;
+  return static_cast<std::uint32_t>((kPageSize - payload_offset(cls)) / s);
+}
+
+void* ScatterAllocLite::try_allocate_in_page(std::size_t page,
+                                             std::uint8_t cls) {
+  std::atomic_ref<std::uint32_t> entry(page_table_[page]);
+  std::uint32_t w = entry.load(std::memory_order_acquire);
+  const std::uint32_t cap = class_capacity(cls);
+  for (;;) {
+    if (w == kFreeWord) {
+      // Claim the free page for this class (fill = 1 for our block).
+      if (!entry.compare_exchange_weak(w, pack(cls, 1),
+                                       std::memory_order_acq_rel,
+                                       std::memory_order_acquire)) {
+        continue;  // re-inspect the new word
+      }
+      st_activations_.fetch_add(1, std::memory_order_relaxed);
+      if (cap == 1) return page_base(page);
+      util::AtomicBitmapRef bm(page_bitmap(page), cap);
+      bm.reset();
+      const std::uint32_t idx =
+          bm.claim_clear_bit(gpu::this_thread::scatter_seed());
+      TOMA_DASSERT(idx != util::AtomicBitmapRef::kNone);
+      return page_base(page) + payload_offset(cls) +
+             static_cast<std::size_t>(idx) * class_size(cls);
+    }
+    if (cls_of(w) != cls || fill_of(w) >= cap) return nullptr;
+    // Reserve a slot by bumping the fill count, then claim a bit.
+    if (!entry.compare_exchange_weak(w, pack(cls, fill_of(w) + 1),
+                                     std::memory_order_acq_rel,
+                                     std::memory_order_acquire)) {
+      continue;
+    }
+    if (cap == 1) return page_base(page);
+    util::AtomicBitmapRef bm(page_bitmap(page), cap);
+    std::uint32_t idx;
+    while ((idx = bm.claim_clear_bit(gpu::this_thread::scatter_seed())) ==
+           util::AtomicBitmapRef::kNone) {
+      // Fill count reserved a bit; transient misses resolve as concurrent
+      // frees/claims settle.
+      gpu::this_thread::yield();
+    }
+    return page_base(page) + payload_offset(cls) +
+           static_cast<std::size_t>(idx) * class_size(cls);
+  }
+}
+
+void* ScatterAllocLite::malloc(std::size_t size) {
+  if (size == 0 || size > kMaxAlloc) {
+    if (size != 0) st_failed_.fetch_add(1, std::memory_order_relaxed);
+    return nullptr;
+  }
+  const std::uint8_t cls = class_of_size(size);
+  // Scatter: hash the caller identity to a start page; probe linearly.
+  const std::size_t start = static_cast<std::size_t>(
+      util::hash64(gpu::this_thread::scatter_seed()) % num_pages_);
+  for (std::size_t k = 0; k < num_pages_; ++k) {
+    const std::size_t page = (start + k) % num_pages_;
+    st_probes_.fetch_add(1, std::memory_order_relaxed);
+    if (void* p = try_allocate_in_page(page, cls)) {
+      st_allocs_.fetch_add(1, std::memory_order_relaxed);
+      return p;
+    }
+  }
+  st_failed_.fetch_add(1, std::memory_order_relaxed);
+  return nullptr;
+}
+
+void ScatterAllocLite::free(void* p) {
+  if (p == nullptr) return;
+  const auto off = static_cast<std::size_t>(
+      static_cast<char*>(p) - pool_);
+  TOMA_ASSERT_MSG(off < pool_bytes_, "free outside the pool");
+  const std::size_t page = off / kPageSize;
+  std::atomic_ref<std::uint32_t> entry(page_table_[page]);
+  std::uint32_t w = entry.load(std::memory_order_acquire);
+  TOMA_ASSERT_MSG(w != kFreeWord, "free into an unassigned page");
+  const std::uint8_t cls = cls_of(w);
+  const std::uint32_t cap = class_capacity(cls);
+
+  if (cap > 1) {
+    const std::size_t inner = off % kPageSize;
+    TOMA_ASSERT(inner >= payload_offset(cls));
+    const std::size_t idx = (inner - payload_offset(cls)) / class_size(cls);
+    util::AtomicBitmapRef bm(page_bitmap(page), cap);
+    bm.release_bit(static_cast<std::uint32_t>(idx));
+  }
+  // Decrement fill; the last free returns the page to the free state.
+  for (;;) {
+    TOMA_DASSERT(fill_of(w) > 0);
+    const std::uint32_t next =
+        fill_of(w) == 1 ? kFreeWord : pack(cls, fill_of(w) - 1);
+    if (entry.compare_exchange_weak(w, next, std::memory_order_acq_rel,
+                                    std::memory_order_acquire)) {
+      break;
+    }
+  }
+  st_frees_.fetch_add(1, std::memory_order_relaxed);
+}
+
+std::size_t ScatterAllocLite::free_bytes() const {
+  std::size_t total = 0;
+  for (std::size_t page = 0; page < num_pages_; ++page) {
+    std::atomic_ref<const std::uint32_t> entry(page_table_[page]);
+    const std::uint32_t w = entry.load(std::memory_order_acquire);
+    if (w == kFreeWord) {
+      total += kPageSize;
+    } else {
+      const std::uint8_t cls = cls_of(w);
+      total += (class_capacity(cls) - fill_of(w)) * class_size(cls);
+    }
+  }
+  return total;
+}
+
+ScatterAllocStats ScatterAllocLite::stats() const {
+  ScatterAllocStats s;
+  s.allocs = st_allocs_.load(std::memory_order_relaxed);
+  s.frees = st_frees_.load(std::memory_order_relaxed);
+  s.failed_allocs = st_failed_.load(std::memory_order_relaxed);
+  s.page_activations = st_activations_.load(std::memory_order_relaxed);
+  s.probe_steps = st_probes_.load(std::memory_order_relaxed);
+  return s;
+}
+
+bool ScatterAllocLite::check_consistency() const {
+  bool ok = true;
+  for (std::size_t page = 0; page < num_pages_; ++page) {
+    std::atomic_ref<const std::uint32_t> entry(page_table_[page]);
+    const std::uint32_t w = entry.load(std::memory_order_acquire);
+    if (w == kFreeWord) continue;
+    const std::uint8_t cls = cls_of(w);
+    const std::uint32_t cap = class_capacity(cls);
+    if (fill_of(w) > cap) {
+      std::fprintf(stderr, "ScatterAllocLite: page %zu overfilled\n", page);
+      ok = false;
+    }
+    if (cap > 1) {
+      util::AtomicBitmapRef bm(
+          const_cast<ScatterAllocLite*>(this)->page_bitmap(page), cap);
+      if (bm.count() != fill_of(w)) {
+        std::fprintf(stderr,
+                     "ScatterAllocLite: page %zu fill %u != bitmap %u\n",
+                     page, fill_of(w), bm.count());
+        ok = false;
+      }
+    }
+  }
+  return ok;
+}
+
+}  // namespace toma::baseline

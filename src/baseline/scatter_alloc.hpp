@@ -1,0 +1,107 @@
+// ScatterAllocLite: a faithful-in-spirit, simplified reimplementation of
+// ScatterAlloc (Steinberger et al., InPar'12), the research allocator the
+// paper builds on for its scattering idea (§2.2) and compares against
+// architecturally.
+//
+// Design (following the ScatterAlloc paper):
+//   * the pool is divided into fixed-size *pages* (here 4 KB);
+//   * each page, once activated, serves one size class ("chunk size" in
+//     ScatterAlloc terms) via an in-page occupancy bitmap;
+//   * a page-usage table tracks per-page state (size class, fill count);
+//   * allocation hashes the requesting thread/multiprocessor id to a
+//     page index and probes linearly from there — the "scattering" that
+//     spreads atomic traffic across the table;
+//   * frees decrement the fill count and release the page when empty.
+//
+// Differences from real ScatterAlloc, kept deliberately simple: no
+// super-pages/regions hierarchy, no coalescing of requests, sizes above
+// the page payload are refused (real ScatterAlloc forwards them to the
+// CUDA allocator — the very allocator this repo replaces; our benches
+// only exercise it in-range). It serves as a second research-grade
+// comparator for the Figure 7 workloads and the fragmentation ablations.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "util/atomic_bitmap.hpp"
+
+namespace toma::baseline {
+
+struct ScatterAllocStats {
+  std::uint64_t allocs = 0;
+  std::uint64_t frees = 0;
+  std::uint64_t failed_allocs = 0;
+  std::uint64_t page_activations = 0;
+  std::uint64_t probe_steps = 0;
+};
+
+class ScatterAllocLite {
+ public:
+  static constexpr std::size_t kPageSize = 4096;
+  static constexpr std::size_t kMinAlloc = 8;
+  /// Largest serviceable request (whole-page allocation).
+  static constexpr std::size_t kMaxAlloc = kPageSize;
+
+  /// Manage `pool_bytes` (multiple of the page size) at `pool`
+  /// (page-aligned). Page metadata lives on the host heap.
+  ScatterAllocLite(void* pool, std::size_t pool_bytes);
+
+  ScatterAllocLite(const ScatterAllocLite&) = delete;
+  ScatterAllocLite& operator=(const ScatterAllocLite&) = delete;
+
+  void* malloc(std::size_t size);
+  void free(void* p);
+
+  std::size_t free_bytes() const;
+  ScatterAllocStats stats() const;
+
+  /// Quiescent validation: page table vs bitmaps.
+  bool check_consistency() const;
+
+ private:
+  // Page states: kFree (unassigned), or assigned to a size class with a
+  // fill count packed alongside. Packed into one 32-bit word per page:
+  // [class:8 | fill:24]; class 0xFF = free page.
+  static constexpr std::uint32_t kFreeWord = 0xFF000000u;
+  static std::uint32_t pack(std::uint8_t cls, std::uint32_t fill) {
+    return (static_cast<std::uint32_t>(cls) << 24) | fill;
+  }
+  static std::uint8_t cls_of(std::uint32_t w) {
+    return static_cast<std::uint8_t>(w >> 24);
+  }
+  static std::uint32_t fill_of(std::uint32_t w) { return w & 0xFFFFFFu; }
+
+  static std::uint8_t class_of_size(std::size_t size);
+  static std::size_t class_size(std::uint8_t cls) {
+    return kMinAlloc << cls;
+  }
+  static std::uint32_t class_capacity(std::uint8_t cls);
+
+  void* try_allocate_in_page(std::size_t page, std::uint8_t cls);
+  char* page_base(std::size_t page) const {
+    return pool_ + page * kPageSize;
+  }
+  /// Bitmap words of a page live in the page itself (first 64 bytes when
+  /// the class needs them; whole-page classes use none).
+  std::uint64_t* page_bitmap(std::size_t page) const {
+    return reinterpret_cast<std::uint64_t*>(page_base(page));
+  }
+  /// Payload offset: bitmap header rounded to the class size granularity.
+  static std::size_t payload_offset(std::uint8_t cls);
+
+  char* pool_;
+  std::size_t pool_bytes_;
+  std::size_t num_pages_;
+  std::vector<std::uint32_t> page_table_;  // atomic via atomic_ref
+
+  mutable std::atomic<std::uint64_t> st_allocs_{0};
+  mutable std::atomic<std::uint64_t> st_frees_{0};
+  mutable std::atomic<std::uint64_t> st_failed_{0};
+  mutable std::atomic<std::uint64_t> st_activations_{0};
+  mutable std::atomic<std::uint64_t> st_probes_{0};
+};
+
+}  // namespace toma::baseline

@@ -1,0 +1,176 @@
+#include "baseline/serial_heap.hpp"
+
+#include <cstdio>
+
+#include "util/assert.hpp"
+#include "util/bitops.hpp"
+
+namespace toma::baseline {
+
+SerialHeapAllocator::SerialHeapAllocator(void* pool, std::size_t pool_bytes)
+    : pool_(static_cast<char*>(pool)), pool_bytes_(pool_bytes) {
+  TOMA_ASSERT(pool != nullptr);
+  TOMA_ASSERT(util::is_aligned(pool, kAlign));
+  TOMA_ASSERT(pool_bytes >= kMinBlock);
+  free_head_.next_free = &free_head_;
+  free_head_.prev_free = &free_head_;
+  auto* first = reinterpret_cast<Block*>(pool_);
+  first->set(pool_bytes, false);
+  first->prev_phys = nullptr;
+  insert_free(first);
+}
+
+void SerialHeapAllocator::insert_free(Block* b) {
+  // Address-ordered insertion (first-fit then behaves like best-effort
+  // low-address placement, the common textbook policy).
+  Block* cur = free_head_.next_free;
+  while (cur != &free_head_ && cur < b) cur = cur->next_free;
+  b->next_free = cur;
+  b->prev_free = cur->prev_free;
+  cur->prev_free->next_free = b;
+  cur->prev_free = b;
+}
+
+void SerialHeapAllocator::remove_free(Block* b) {
+  b->prev_free->next_free = b->next_free;
+  b->next_free->prev_free = b->prev_free;
+}
+
+SerialHeapAllocator::Block* SerialHeapAllocator::next_phys(Block* b) const {
+  char* n = reinterpret_cast<char*>(b) + b->bytes();
+  if (n >= pool_ + pool_bytes_) return nullptr;
+  return reinterpret_cast<Block*>(n);
+}
+
+void SerialHeapAllocator::hold_lock_latency() const {
+  for (unsigned i = 0; i < latency_; ++i) gpu::this_thread::yield();
+}
+
+void* SerialHeapAllocator::malloc(std::size_t size) {
+  if (size == 0) return nullptr;
+  const std::size_t need =
+      util::align_up(size, kAlign) + kHeader;
+
+  mu_.lock();
+  hold_lock_latency();
+  Block* b = free_head_.next_free;
+  while (b != &free_head_ && b->bytes() < need) b = b->next_free;
+  if (b == &free_head_) {
+    mu_.unlock();
+    st_failed_.fetch_add(1, std::memory_order_relaxed);
+    return nullptr;
+  }
+  remove_free(b);
+  if (b->bytes() >= need + kMinBlock) {
+    // Split: keep the front for the caller, return the rest to the list.
+    auto* rest = reinterpret_cast<Block*>(reinterpret_cast<char*>(b) + need);
+    rest->set(b->bytes() - need, false);
+    rest->prev_phys = b;
+    if (Block* after = next_phys(rest)) after->prev_phys = rest;
+    b->set(need, true);
+    insert_free(rest);
+  } else {
+    b->set(b->bytes(), true);
+  }
+  mu_.unlock();
+  st_allocs_.fetch_add(1, std::memory_order_relaxed);
+  return reinterpret_cast<char*>(b) + kHeader;
+}
+
+void SerialHeapAllocator::free(void* p) {
+  if (p == nullptr) return;
+  auto* b = reinterpret_cast<Block*>(static_cast<char*>(p) - kHeader);
+  mu_.lock();
+  hold_lock_latency();
+  TOMA_ASSERT_MSG(b->used(), "double free in SerialHeapAllocator");
+  b->set(b->bytes(), false);
+
+  // Coalesce with physical neighbours.
+  if (Block* nxt = next_phys(b); nxt != nullptr && !nxt->used()) {
+    remove_free(nxt);
+    b->set(b->bytes() + nxt->bytes(), false);
+    if (Block* after = next_phys(b)) after->prev_phys = b;
+  }
+  if (Block* prv = b->prev_phys; prv != nullptr && !prv->used()) {
+    remove_free(prv);
+    prv->set(prv->bytes() + b->bytes(), false);
+    if (Block* after = next_phys(prv)) after->prev_phys = prv;
+    b = prv;
+  }
+  insert_free(b);
+  mu_.unlock();
+  st_frees_.fetch_add(1, std::memory_order_relaxed);
+}
+
+std::size_t SerialHeapAllocator::free_bytes() const {
+  sync::LockGuard<sync::SpinMutex> g(mu_);
+  std::size_t total = 0;
+  for (Block* b = free_head_.next_free; b != &free_head_; b = b->next_free) {
+    total += b->bytes() - kHeader;
+  }
+  return total;
+}
+
+std::size_t SerialHeapAllocator::largest_free_block() const {
+  sync::LockGuard<sync::SpinMutex> g(mu_);
+  std::size_t best = 0;
+  for (Block* b = free_head_.next_free; b != &free_head_; b = b->next_free) {
+    if (b->bytes() - kHeader > best) best = b->bytes() - kHeader;
+  }
+  return best;
+}
+
+SerialHeapStats SerialHeapAllocator::stats() const {
+  SerialHeapStats s;
+  s.allocs = st_allocs_.load(std::memory_order_relaxed);
+  s.frees = st_frees_.load(std::memory_order_relaxed);
+  s.failed_allocs = st_failed_.load(std::memory_order_relaxed);
+  return s;
+}
+
+bool SerialHeapAllocator::check_consistency() const {
+  sync::LockGuard<sync::SpinMutex> g(mu_);
+  bool ok = true;
+  // Physical walk: blocks tile the pool; prev_phys links agree.
+  std::size_t covered = 0;
+  Block* prev = nullptr;
+  auto* b = reinterpret_cast<Block*>(pool_);
+  while (b != nullptr) {
+    if (b->prev_phys != prev) {
+      std::fprintf(stderr, "SerialHeap: bad prev_phys at %p\n",
+                   static_cast<void*>(b));
+      ok = false;
+    }
+    if (b->bytes() < kHeader || covered + b->bytes() > pool_bytes_) {
+      std::fprintf(stderr, "SerialHeap: bad block size at %p\n",
+                   static_cast<void*>(b));
+      return false;
+    }
+    covered += b->bytes();
+    prev = b;
+    b = next_phys(b);
+  }
+  if (covered != pool_bytes_) {
+    std::fprintf(stderr, "SerialHeap: blocks cover %zu of %zu bytes\n",
+                 covered, pool_bytes_);
+    ok = false;
+  }
+  // Free-list walk: every entry is a free block, address ordered.
+  Block* f = free_head_.next_free;
+  Block* last = nullptr;
+  while (f != &free_head_) {
+    if (f->used()) {
+      std::fprintf(stderr, "SerialHeap: used block on free list\n");
+      ok = false;
+    }
+    if (last != nullptr && last >= f) {
+      std::fprintf(stderr, "SerialHeap: free list not address ordered\n");
+      ok = false;
+    }
+    last = f;
+    f = f->next_free;
+  }
+  return ok;
+}
+
+}  // namespace toma::baseline

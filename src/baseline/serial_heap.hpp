@@ -1,0 +1,90 @@
+// SerialHeapAllocator: stand-in for the CUDA toolkit device-side malloc,
+// the baseline of the paper's Figure 7.
+//
+// The CUDA device allocator is closed source; public measurements show a
+// serialized free-list design whose throughput collapses as concurrency
+// rises and is largely insensitive to allocation size. We reproduce that
+// contention profile with the textbook design it is believed to resemble:
+// one global lock around an address-ordered first-fit free list with
+// boundary tags and immediate coalescing.
+//
+// This is deliberately *not* tuned: it is the "typical synchronization
+// primitives over their scalability limits" exemplar the paper argues
+// against. See DESIGN.md (substitutions) and EXPERIMENTS.md.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+
+#include "sync/spin_mutex.hpp"
+
+namespace toma::baseline {
+
+struct SerialHeapStats {
+  std::uint64_t allocs = 0;
+  std::uint64_t frees = 0;
+  std::uint64_t failed_allocs = 0;
+};
+
+class SerialHeapAllocator {
+ public:
+  /// Manage `pool_bytes` starting at `pool` (16-byte aligned or better).
+  SerialHeapAllocator(void* pool, std::size_t pool_bytes);
+
+  SerialHeapAllocator(const SerialHeapAllocator&) = delete;
+  SerialHeapAllocator& operator=(const SerialHeapAllocator&) = delete;
+
+  void* malloc(std::size_t size);
+  void free(void* p);
+
+  /// Contention model for simulator benchmarks (default 0 = off): the
+  /// holder keeps the lock across `yields` scheduling points, modeling
+  /// the serialized global-memory latency of the real device allocator's
+  /// critical section. Under a cooperative scheduler a zero-latency
+  /// critical section is never observed held, which would erase exactly
+  /// the serialization this baseline exists to exhibit (EXPERIMENTS.md).
+  void set_contention_latency(unsigned yields) { latency_ = yields; }
+
+  std::size_t free_bytes() const;
+  std::size_t largest_free_block() const;
+  SerialHeapStats stats() const;
+
+  /// Test hook: validate boundary tags and free-list integrity (quiescent).
+  bool check_consistency() const;
+
+ private:
+  // Block header (boundary tag). Blocks are laid out contiguously; the
+  // header precedes the payload, and `size` covers header + payload.
+  struct Block {
+    std::size_t size;      // total bytes including header, low bit = used
+    Block* prev_phys;      // physical predecessor (for coalescing)
+    Block* next_free;      // free-list links (valid when free)
+    Block* prev_free;
+
+    bool used() const { return size & 1; }
+    std::size_t bytes() const { return size & ~std::size_t{1}; }
+    void set(std::size_t b, bool u) { size = b | (u ? 1 : 0); }
+  };
+  static constexpr std::size_t kHeader = sizeof(Block);
+  static constexpr std::size_t kAlign = 16;
+  static constexpr std::size_t kMinBlock = kHeader + kAlign;
+
+  void insert_free(Block* b);
+  void remove_free(Block* b);
+  Block* next_phys(Block* b) const;
+
+  void hold_lock_latency() const;
+
+  char* pool_;
+  std::size_t pool_bytes_;
+  unsigned latency_ = 0;
+  mutable sync::SpinMutex mu_;
+  Block free_head_;  // sentinel of the circular free list
+
+  std::atomic<std::uint64_t> st_allocs_{0};
+  std::atomic<std::uint64_t> st_frees_{0};
+  std::atomic<std::uint64_t> st_failed_{0};
+};
+
+}  // namespace toma::baseline

@@ -1,0 +1,133 @@
+// Resident thread-block state: barrier, warp contexts, shared memory and
+// the fibers executing the block's threads.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "gpusim/fiber.hpp"
+#include "gpusim/kernel.hpp"
+#include "util/hints.hpp"
+
+namespace toma::gpu {
+
+/// Counter/generation block barrier with CUDA-on-Volta semantics: the
+/// barrier releases when every *non-exited* thread of the block has
+/// arrived, so a kernel may early-return some threads (the ubiquitous
+/// `if (rank >= n) return;` guard) and still barrier with the rest.
+/// Generation and arrival count are packed into one atomic word so release
+/// and reset are a single CAS. Correct under both cooperative scheduling
+/// and true multi-worker parallelism.
+class BlockBarrier {
+ public:
+  void init(std::uint32_t nthreads) {
+    state_.store(0, std::memory_order_relaxed);
+    live_.store(nthreads, std::memory_order_relaxed);
+  }
+
+  /// Called (by the fiber entry shim) when a thread finishes the kernel.
+  void thread_exited() { live_.fetch_sub(1, std::memory_order_acq_rel); }
+
+  /// Returns true for exactly one caller per generation: the thread that
+  /// released the barrier (useful for electing post-barrier work).
+  bool arrive_and_wait(ThreadCtx& ctx) {
+    std::uint64_t s = state_.load(std::memory_order_acquire);
+    std::uint32_t gen;
+    for (;;) {  // arrival: either release (last) or count ourselves in
+      gen = static_cast<std::uint32_t>(s >> 32);
+      const std::uint32_t cnt = static_cast<std::uint32_t>(s);
+      if (cnt + 1 >= live_.load(std::memory_order_acquire)) {
+        if (state_.compare_exchange_weak(
+                s, (std::uint64_t{gen} + 1) << 32,
+                std::memory_order_acq_rel, std::memory_order_acquire)) {
+          return true;
+        }
+      } else if (state_.compare_exchange_weak(s, s + 1,
+                                              std::memory_order_acq_rel,
+                                              std::memory_order_acquire)) {
+        break;
+      }
+    }
+    // Wait; re-check liveness so a thread exiting elsewhere releases us.
+    for (;;) {
+      ctx.yield();
+      s = state_.load(std::memory_order_acquire);
+      if (static_cast<std::uint32_t>(s >> 32) != gen) return false;
+      const std::uint32_t cnt = static_cast<std::uint32_t>(s);
+      if (cnt >= live_.load(std::memory_order_acquire)) {
+        if (state_.compare_exchange_weak(
+                s, (std::uint64_t{gen} + 1) << 32,
+                std::memory_order_acq_rel, std::memory_order_relaxed)) {
+          return true;
+        }
+      }
+    }
+  }
+
+  std::uint32_t live() const { return live_.load(std::memory_order_acquire); }
+
+ private:
+  // state_ = generation:32 | arrived:32
+  TOMA_CACHELINE_ALIGNED std::atomic<std::uint64_t> state_{0};
+  std::atomic<std::uint32_t> live_{0};
+};
+
+/// Per-warp state. Lanes of a warp are co-scheduled on one SM worker and
+/// only interleave at yield points, so sequences of warp-state operations
+/// with no intervening yield are effectively atomic with respect to the
+/// other lanes. The rendezvous protocol in warp.cpp relies on this.
+struct WarpCtx {
+  std::uint32_t nlanes = 0;  // last warp of a block may be partial
+
+  // Rendezvous window state (see warp.cpp for the protocol).
+  enum State : std::uint32_t { kIdle = 0, kOpen = 1, kClosed = 2 };
+  std::atomic<std::uint32_t> rv_state{kIdle};
+  std::atomic<const void*> rv_tag{nullptr};
+  std::atomic<std::uint64_t> rv_mask{0};
+  std::atomic<std::uint64_t> rv_final{0};
+  std::atomic<std::uint32_t> rv_acks{0};
+  std::atomic<std::uint64_t> rv_epoch{0};
+
+  // Broadcast slot (see warp_broadcast in warp.hpp). bc_owner serializes
+  // slot use across (possibly overlapping) groups; bc_token publishes a
+  // prepared value to the owning group's members.
+  std::atomic<std::uint64_t> bc_owner{0};
+  std::atomic<std::uint64_t> bc_token{0};
+  std::atomic<std::uint64_t> bc_value{0};
+  std::atomic<std::uint32_t> bc_acks{0};
+
+  void reset_rendezvous() {
+    rv_state.store(kIdle, std::memory_order_relaxed);
+    rv_tag.store(nullptr, std::memory_order_relaxed);
+    rv_mask.store(0, std::memory_order_relaxed);
+    rv_final.store(0, std::memory_order_relaxed);
+    rv_acks.store(0, std::memory_order_relaxed);
+    bc_owner.store(0, std::memory_order_relaxed);
+    bc_token.store(0, std::memory_order_relaxed);
+    bc_value.store(0, std::memory_order_relaxed);
+    bc_acks.store(0, std::memory_order_relaxed);
+  }
+};
+
+/// Everything a resident block needs while it executes. BlockRun objects
+/// are recycled by the SM between blocks (stacks are pooled separately).
+struct BlockRun {
+  LaunchState* launch = nullptr;
+  std::uint64_t block_rank = 0;
+  std::uint32_t nthreads = 0;
+  std::uint32_t finished = 0;  // scheduler-side count of finished fibers
+
+  std::vector<Fiber> fibers;
+  std::vector<ThreadCtx> ctxs;
+  std::vector<WarpCtx> warps;
+  BlockBarrier barrier;
+  std::vector<std::byte> shared_mem;
+
+  /// (Re)configure for a new block instance. Stacks are attached by the SM.
+  void prepare(Device& dev, LaunchState& ls, std::uint64_t rank,
+               std::uint32_t sm_id);
+};
+
+}  // namespace toma::gpu

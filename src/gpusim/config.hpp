@@ -1,0 +1,38 @@
+// Simulated device configuration.
+//
+// Defaults approximate a mid-size Volta-class part scaled for simulation:
+// the paper's Titan V has 80 SMs x 2048 resident threads (163,840 resident,
+// 172,032 architectural max including the GV100 full die). Simulated SM
+// count is freely configurable; benchmarks use larger devices, unit tests
+// smaller ones.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace toma::gpu {
+
+struct DeviceConfig {
+  /// Number of streaming multiprocessors.
+  std::uint32_t num_sms = 8;
+  /// Max resident threads per SM (Volta: 2048).
+  std::uint32_t max_threads_per_sm = 2048;
+  /// Max resident thread blocks per SM (Volta: 32).
+  std::uint32_t max_blocks_per_sm = 32;
+  /// Threads per warp (NVIDIA: 32).
+  std::uint32_t warp_size = 32;
+  /// Per-block shared memory arena (Volta: up to 96 KB; default 48 KB).
+  std::size_t shared_mem_per_block = 48 * 1024;
+  /// Usable stack bytes per fiber. Device-side code is shallow; 32 KB
+  /// leaves generous headroom for std::function frames in the simulator.
+  std::size_t stack_bytes = 32 * 1024;
+  /// OS worker threads driving the SMs. 0 = min(hw concurrency, num_sms).
+  std::uint32_t num_workers = 0;
+
+  /// Architectural ceiling on simultaneously resident threads.
+  std::uint64_t max_resident_threads() const {
+    return std::uint64_t{num_sms} * max_threads_per_sm;
+  }
+};
+
+}  // namespace toma::gpu

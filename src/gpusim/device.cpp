@@ -1,0 +1,103 @@
+#include "gpusim/device.hpp"
+
+#include <algorithm>
+#include <thread>
+
+#include "gpusim/sm.hpp"
+#include "util/assert.hpp"
+
+namespace toma::gpu {
+
+void LaunchState::record_error(std::exception_ptr e) {
+  std::lock_guard<std::mutex> g(error_mu);
+  if (!first_error) first_error = e;
+}
+
+Device::Device(DeviceConfig cfg) : cfg_(cfg), stack_pool_(cfg.stack_bytes) {
+  TOMA_ASSERT(cfg_.num_sms > 0);
+  TOMA_ASSERT(cfg_.warp_size > 0);
+  TOMA_ASSERT(cfg_.max_threads_per_sm >= cfg_.warp_size);
+  sms_.reserve(cfg_.num_sms);
+  for (std::uint32_t i = 0; i < cfg_.num_sms; ++i) {
+    sms_.push_back(std::make_unique<Sm>(*this, i));
+  }
+}
+
+Device::~Device() = default;
+
+void Device::launch_linear(std::uint64_t total_threads,
+                           std::uint32_t block_size, const Kernel& kernel) {
+  TOMA_ASSERT(block_size > 0);
+  const std::uint64_t blocks =
+      (total_threads + block_size - 1) / block_size;
+  TOMA_ASSERT_MSG(blocks <= 0xffffffffu, "grid too large for Dim3.x");
+  launch(Dim3{static_cast<std::uint32_t>(std::max<std::uint64_t>(blocks, 1))},
+         Dim3{block_size}, kernel);
+}
+
+void Device::launch(Dim3 grid, Dim3 block, const Kernel& kernel) {
+  TOMA_ASSERT(grid.count() > 0 && block.count() > 0);
+  TOMA_ASSERT_MSG(block.count() <= cfg_.max_threads_per_sm,
+                  "thread block larger than SM residency");
+
+  LaunchState ls;
+  ls.kernel = &kernel;
+  ls.grid = grid;
+  ls.block = block;
+  ls.total_blocks = grid.count();
+  ls.threads_per_block = static_cast<std::uint32_t>(block.count());
+
+  std::uint32_t nw = cfg_.num_workers;
+  if (nw == 0) {
+    nw = std::max(1u, std::min(std::thread::hardware_concurrency(),
+                               cfg_.num_sms));
+  }
+  nw = std::min(nw, cfg_.num_sms);
+
+  if (nw == 1) {
+    worker_main(0, 1, ls);
+  } else {
+    std::vector<std::thread> workers;
+    workers.reserve(nw);
+    for (std::uint32_t w = 0; w < nw; ++w) {
+      workers.emplace_back([this, w, nw, &ls] { worker_main(w, nw, ls); });
+    }
+    for (auto& t : workers) t.join();
+  }
+
+  {
+    std::lock_guard<std::mutex> g(stats_mu_);
+    ++stats_.launches;
+    stats_.blocks_executed += ls.total_blocks;
+    stats_.threads_executed += ls.total_blocks * ls.threads_per_block;
+    stats_.fiber_resumes = 0;
+    stats_.sched_rounds = 0;
+    for (const auto& sm : sms_) {
+      stats_.fiber_resumes += sm->fiber_resumes();
+      stats_.sched_rounds += sm->rounds();
+    }
+  }
+
+  if (ls.first_error) std::rethrow_exception(ls.first_error);
+}
+
+void Device::worker_main(std::uint32_t worker_id, std::uint32_t num_workers,
+                         LaunchState& ls) {
+  // Static SM ownership: SM i belongs to worker i % num_workers. A worker
+  // spins its SMs until the whole grid retired; when it momentarily has no
+  // resident blocks it backs off with an OS yield so co-workers progress.
+  while (!ls.done()) {
+    bool any = false;
+    for (std::uint32_t s = worker_id; s < cfg_.num_sms; s += num_workers) {
+      any = sms_[s]->step(ls) || any;
+    }
+    if (!any) std::this_thread::yield();
+  }
+}
+
+DeviceStats Device::stats() const {
+  std::lock_guard<std::mutex> g(stats_mu_);
+  return stats_;
+}
+
+}  // namespace toma::gpu

@@ -1,0 +1,90 @@
+// The simulated GPU device: owns the SMs, the fiber stack pool, and the
+// launch machinery. Launches are synchronous: `launch` returns when every
+// thread of the grid has finished, rethrowing the first kernel exception.
+//
+// Grids larger than the device's residency execute in waves, exactly like
+// real hardware: an SM admits a new block as soon as a resident one
+// retires, so fiber memory is bounded by residency, not grid size.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <exception>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "gpusim/config.hpp"
+#include "gpusim/kernel.hpp"
+#include "gpusim/stack.hpp"
+
+namespace toma::gpu {
+
+class Sm;
+
+/// Shared state of one grid launch.
+struct LaunchState {
+  const Kernel* kernel = nullptr;
+  Dim3 grid;
+  Dim3 block;
+  std::uint64_t total_blocks = 0;
+  std::uint32_t threads_per_block = 0;
+
+  std::atomic<std::uint64_t> next_block{0};
+  std::atomic<std::uint64_t> blocks_done{0};
+
+  std::mutex error_mu;
+  std::exception_ptr first_error;
+
+  bool done() const {
+    return blocks_done.load(std::memory_order_acquire) >= total_blocks;
+  }
+  void record_error(std::exception_ptr e);
+};
+
+/// Aggregate execution counters (monotonic across launches).
+struct DeviceStats {
+  std::uint64_t launches = 0;
+  std::uint64_t blocks_executed = 0;
+  std::uint64_t threads_executed = 0;
+  std::uint64_t fiber_resumes = 0;
+  std::uint64_t sched_rounds = 0;
+};
+
+class Device {
+ public:
+  explicit Device(DeviceConfig cfg = {});
+  ~Device();
+
+  Device(const Device&) = delete;
+  Device& operator=(const Device&) = delete;
+
+  const DeviceConfig& config() const { return cfg_; }
+  std::uint32_t num_sms() const { return cfg_.num_sms; }
+
+  /// Run `kernel` over grid x block threads; blocks until completion.
+  void launch(Dim3 grid, Dim3 block, const Kernel& kernel);
+
+  /// Convenience: launch `total_threads` 1-D threads in blocks of
+  /// `block_size` (last block untrimmed; kernels guard on global_rank).
+  void launch_linear(std::uint64_t total_threads, std::uint32_t block_size,
+                     const Kernel& kernel);
+
+  StackPool& stack_pool() { return stack_pool_; }
+  DeviceStats stats() const;
+
+ private:
+  friend class Sm;
+
+  void worker_main(std::uint32_t worker_id, std::uint32_t num_workers,
+                   LaunchState& ls);
+
+  DeviceConfig cfg_;
+  StackPool stack_pool_;
+  std::vector<std::unique_ptr<Sm>> sms_;
+
+  mutable std::mutex stats_mu_;
+  DeviceStats stats_;
+};
+
+}  // namespace toma::gpu

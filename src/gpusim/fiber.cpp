@@ -1,0 +1,87 @@
+#include "gpusim/fiber.hpp"
+
+#include <cstdint>
+
+#include "util/assert.hpp"
+
+#if !defined(TOMA_USE_UCONTEXT)
+extern "C" {
+void toma_ctx_swap(void** save_sp, void* restore_sp);
+void toma_ctx_trampoline();
+}
+#endif
+
+namespace toma::gpu {
+
+#if defined(TOMA_USE_UCONTEXT)
+
+// makecontext only passes ints, so the FiberContext pointer is split into
+// two 32-bit halves (the POSIX-sanctioned idiom for 64-bit hosts).
+void uc_trampoline_dispatch(unsigned hi, unsigned lo) {
+  auto* self = reinterpret_cast<FiberContext*>(
+      (static_cast<std::uintptr_t>(hi) << 32) | lo);
+  self->entry_(self->arg_);
+  TOMA_UNREACHABLE();  // fiber entries must suspend-finish, not return
+}
+
+void FiberContext::init(const Stack& stack, Entry entry, void* arg) {
+  entry_ = entry;
+  arg_ = arg;
+  TOMA_ASSERT(getcontext(&ctx_) == 0);
+  ctx_.uc_stack.ss_sp =
+      static_cast<char*>(stack.top()) - stack.usable_bytes();
+  ctx_.uc_stack.ss_size = stack.usable_bytes();
+  ctx_.uc_link = nullptr;
+  const auto self = reinterpret_cast<std::uintptr_t>(this);
+  makecontext(&ctx_, reinterpret_cast<void (*)()>(&uc_trampoline_dispatch), 2,
+              static_cast<unsigned>(self >> 32),
+              static_cast<unsigned>(self & 0xffffffffu));
+}
+
+void FiberContext::switch_to(FiberContext& target) {
+  TOMA_ASSERT(swapcontext(&ctx_, &target.ctx_) == 0);
+}
+
+#else  // asm backend
+
+void FiberContext::init(const Stack& stack, Entry entry, void* arg) {
+  // Seed the initial frame consumed by toma_ctx_swap's pop sequence:
+  // [r15=entry][r14=arg][r13][r12][rbx][rbp][ret=trampoline]
+  auto* top = static_cast<void**>(stack.top());
+  void** sp = top - 7;
+  sp[0] = reinterpret_cast<void*>(entry);  // -> r15
+  sp[1] = arg;                             // -> r14
+  sp[2] = nullptr;                         // -> r13
+  sp[3] = nullptr;                         // -> r12
+  sp[4] = nullptr;                         // -> rbx
+  sp[5] = nullptr;                         // -> rbp
+  sp[6] = reinterpret_cast<void*>(&toma_ctx_trampoline);
+  sp_ = sp;
+}
+
+void FiberContext::switch_to(FiberContext& target) {
+  toma_ctx_swap(&sp_, target.sp_);
+}
+
+#endif
+
+void Fiber::reset(Stack stack, Entry entry, void* arg) {
+  TOMA_ASSERT_MSG(finished_, "resetting a live fiber");
+  stack_ = std::move(stack);
+  self_.init(stack_, entry, arg);
+  finished_ = false;
+}
+
+Stack Fiber::take_stack() {
+  TOMA_ASSERT(finished_);
+  return std::move(stack_);
+}
+
+void Fiber::resume() {
+  TOMA_DASSERT(!finished_);
+  scheduler_.switch_to(self_);
+}
+
+void Fiber::suspend() { self_.switch_to(scheduler_); }
+
+}  // namespace toma::gpu

@@ -1,0 +1,9 @@
+// Umbrella header for the GPU execution simulator.
+#pragma once
+
+#include "gpusim/block.hpp"
+#include "gpusim/config.hpp"
+#include "gpusim/device.hpp"
+#include "gpusim/kernel.hpp"
+#include "gpusim/this_thread.hpp"
+#include "gpusim/warp.hpp"

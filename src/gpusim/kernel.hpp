@@ -1,0 +1,112 @@
+// Kernel launch geometry and the per-thread execution context.
+//
+// ThreadCtx is the simulated analogue of CUDA's builtin variables
+// (threadIdx/blockIdx/blockDim/gridDim, %smid, %laneid) plus the scheduling
+// hooks a cooperative simulator needs (`yield`, `sync_block`).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+
+#include "util/prng.hpp"
+
+namespace toma::gpu {
+
+class Device;
+class Fiber;
+struct BlockRun;
+struct WarpCtx;
+struct LaunchState;
+
+/// CUDA-style 3D extent. Linearization is x-major (x fastest), matching
+/// CUDA's thread enumeration order.
+struct Dim3 {
+  std::uint32_t x = 1;
+  std::uint32_t y = 1;
+  std::uint32_t z = 1;
+
+  constexpr Dim3() = default;
+  constexpr Dim3(std::uint32_t x_, std::uint32_t y_ = 1, std::uint32_t z_ = 1)
+      : x(x_), y(y_), z(z_) {}
+
+  constexpr std::uint64_t count() const {
+    return std::uint64_t{x} * y * z;
+  }
+
+  /// Decompose a linear rank back into coordinates.
+  constexpr Dim3 decode(std::uint64_t rank) const {
+    return Dim3{static_cast<std::uint32_t>(rank % x),
+                static_cast<std::uint32_t>((rank / x) % y),
+                static_cast<std::uint32_t>(rank / (std::uint64_t{x} * y))};
+  }
+};
+
+/// Execution context of one simulated GPU thread. Instances are owned by
+/// the SM scheduler; kernels receive a reference and must not store it
+/// beyond the kernel's lifetime.
+class ThreadCtx {
+ public:
+  // --- identity -----------------------------------------------------------
+  std::uint32_t thread_rank() const { return thread_rank_; }
+  Dim3 thread_idx() const;
+  std::uint64_t block_rank() const { return block_rank_; }
+  Dim3 block_idx() const;
+  Dim3 block_dim() const;
+  Dim3 grid_dim() const;
+  /// Globally unique linear thread id within the grid.
+  std::uint64_t global_rank() const;
+  std::uint32_t sm_id() const { return sm_id_; }
+  std::uint32_t warp_rank() const { return warp_rank_; }
+  std::uint32_t lane_id() const { return lane_id_; }
+
+  // --- scheduling ---------------------------------------------------------
+  /// Cooperatively give up the SM. Every spin loop in device code must
+  /// yield; this is what provides forward progress for other threads.
+  void yield();
+
+  /// Block-wide barrier (CUDA __syncthreads). All live threads of the
+  /// block must reach it; calling it divergently is undefined (as in CUDA).
+  void sync_block();
+
+  // --- resources ----------------------------------------------------------
+  /// Base of the block's shared memory arena (same pointer for all threads
+  /// of the block); zeroed before the block starts.
+  void* shared_mem() const;
+  std::size_t shared_mem_bytes() const;
+
+  /// Per-thread PRNG, seeded from the global rank. Used to scatter
+  /// concurrent searches (tree descent, bitmap probing).
+  util::Xorshift& rng() { return rng_; }
+
+  /// A fresh scatter seed (different on every call).
+  std::uint64_t scatter_seed() { return rng_.next(); }
+
+  Device& device() const { return *device_; }
+  WarpCtx& warp() const { return *warp_; }
+  BlockRun& block() const { return *block_; }
+
+ private:
+  friend class Sm;
+  friend struct BlockRun;
+
+  static void fiber_entry(void* arg);
+
+  Device* device_ = nullptr;
+  LaunchState* launch_ = nullptr;
+  BlockRun* block_ = nullptr;
+  WarpCtx* warp_ = nullptr;
+  Fiber* fiber_ = nullptr;
+  std::uint64_t block_rank_ = 0;
+  std::uint32_t thread_rank_ = 0;
+  std::uint32_t sm_id_ = 0;
+  std::uint32_t warp_rank_ = 0;
+  std::uint32_t lane_id_ = 0;
+  util::Xorshift rng_;
+};
+
+/// A kernel body. One instance per launch, invoked concurrently by every
+/// simulated thread; captures must be thread-safe.
+using Kernel = std::function<void(ThreadCtx&)>;
+
+}  // namespace toma::gpu

@@ -1,0 +1,133 @@
+#include "gpusim/sm.hpp"
+
+#include <algorithm>
+
+#include "gpusim/device.hpp"
+#include "util/assert.hpp"
+
+namespace toma::gpu {
+
+namespace detail {
+void set_current(ThreadCtx* ctx);  // defined in this_thread.cpp
+}
+
+void BlockRun::prepare(Device& dev, LaunchState& ls, std::uint64_t rank,
+                       std::uint32_t sm_id) {
+  const DeviceConfig& cfg = dev.config();
+  launch = &ls;
+  block_rank = rank;
+  nthreads = ls.threads_per_block;
+  finished = 0;
+
+  const std::uint32_t nwarps = (nthreads + cfg.warp_size - 1) / cfg.warp_size;
+  if (fibers.size() < nthreads) fibers = std::vector<Fiber>(nthreads);
+  if (ctxs.size() < nthreads) ctxs = std::vector<ThreadCtx>(nthreads);
+  if (warps.size() < nwarps) warps = std::vector<WarpCtx>(nwarps);
+  if (shared_mem.size() != cfg.shared_mem_per_block)
+    shared_mem.assign(cfg.shared_mem_per_block, std::byte{0});
+  else
+    std::fill(shared_mem.begin(), shared_mem.end(), std::byte{0});
+
+  barrier.init(nthreads);
+  for (std::uint32_t w = 0; w < nwarps; ++w) {
+    warps[w].nlanes =
+        std::min(cfg.warp_size, nthreads - w * cfg.warp_size);
+    warps[w].reset_rendezvous();
+  }
+
+  for (std::uint32_t t = 0; t < nthreads; ++t) {
+    ThreadCtx& ctx = ctxs[t];
+    ctx.device_ = &dev;
+    ctx.launch_ = &ls;
+    ctx.block_ = this;
+    ctx.warp_ = &warps[t / cfg.warp_size];
+    ctx.fiber_ = &fibers[t];
+    ctx.block_rank_ = rank;
+    ctx.thread_rank_ = t;
+    ctx.sm_id_ = sm_id;
+    ctx.warp_rank_ = t / cfg.warp_size;
+    ctx.lane_id_ = t % cfg.warp_size;
+    ctx.rng_ = util::Xorshift(util::hash64(
+        (rank * ls.threads_per_block + t) ^ 0x746f6d61ULL));
+    fibers[t].reset(dev.stack_pool().acquire(), &ThreadCtx::fiber_entry,
+                    &ctx);
+  }
+}
+
+Sm::Sm(Device& dev, std::uint32_t id) : dev_(dev), id_(id) {}
+Sm::~Sm() = default;
+
+std::unique_ptr<BlockRun> Sm::obtain_block_run() {
+  if (!recycled_.empty()) {
+    auto br = std::move(recycled_.back());
+    recycled_.pop_back();
+    return br;
+  }
+  return std::make_unique<BlockRun>();
+}
+
+bool Sm::admit(LaunchState& ls) {
+  const DeviceConfig& cfg = dev_.config();
+  bool admitted = false;
+  while (resident_.size() < cfg.max_blocks_per_sm &&
+         resident_threads_ + ls.threads_per_block <= cfg.max_threads_per_sm) {
+    const std::uint64_t rank =
+        ls.next_block.fetch_add(1, std::memory_order_relaxed);
+    if (rank >= ls.total_blocks) {
+      // Undo the overshoot so `next_block` stays a claim counter other SMs
+      // can also overshoot harmlessly (claims beyond total are ignored).
+      break;
+    }
+    auto br = obtain_block_run();
+    br->prepare(dev_, ls, rank, id_);
+    resident_threads_ += br->nthreads;
+    resident_.push_back(std::move(br));
+    admitted = true;
+  }
+  return admitted;
+}
+
+void Sm::retire(std::size_t idx, LaunchState& ls) {
+  BlockRun& br = *resident_[idx];
+  TOMA_DASSERT(br.finished == br.nthreads);
+  for (std::uint32_t t = 0; t < br.nthreads; ++t) {
+    dev_.stack_pool().release(br.fibers[t].take_stack());
+  }
+  resident_threads_ -= br.nthreads;
+  ++blocks_run_;
+  ls.blocks_done.fetch_add(1, std::memory_order_acq_rel);
+
+  recycled_.push_back(std::move(resident_[idx]));
+  resident_[idx] = std::move(resident_.back());
+  resident_.pop_back();
+}
+
+bool Sm::step(LaunchState& ls) {
+  admit(ls);
+  if (resident_.empty()) return false;
+
+  ++rounds_;
+  // Round-robin every runnable fiber once. Iterate by index because
+  // retire() compacts the vector (swap-with-last), in which case we
+  // re-visit the swapped-in block on the next round.
+  for (std::size_t b = 0; b < resident_.size();) {
+    BlockRun& br = *resident_[b];
+    for (std::uint32_t t = 0; t < br.nthreads; ++t) {
+      Fiber& f = br.fibers[t];
+      if (f.finished()) continue;
+      detail::set_current(&br.ctxs[t]);
+      f.resume();
+      detail::set_current(nullptr);
+      ++fiber_resumes_;
+      if (f.finished()) ++br.finished;
+    }
+    if (br.finished == br.nthreads) {
+      retire(b, ls);  // do not advance b: swapped-in block takes this slot
+    } else {
+      ++b;
+    }
+  }
+  return true;
+}
+
+}  // namespace toma::gpu

@@ -1,0 +1,49 @@
+// One streaming multiprocessor: admits thread blocks up to its residency
+// limits and round-robins their fibers.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "gpusim/block.hpp"
+
+namespace toma::gpu {
+
+class Device;
+struct LaunchState;
+
+class Sm {
+ public:
+  Sm(Device& dev, std::uint32_t id);
+  ~Sm();
+
+  std::uint32_t id() const { return id_; }
+
+  /// One scheduling round: admit blocks if capacity allows, then resume
+  /// every runnable resident fiber once, retiring completed blocks.
+  /// Returns true if the SM did any work (has or ran resident blocks).
+  bool step(LaunchState& ls);
+
+  bool idle() const { return resident_.empty(); }
+
+  std::uint64_t fiber_resumes() const { return fiber_resumes_; }
+  std::uint64_t rounds() const { return rounds_; }
+  std::uint64_t blocks_run() const { return blocks_run_; }
+
+ private:
+  bool admit(LaunchState& ls);
+  void retire(std::size_t idx, LaunchState& ls);
+  std::unique_ptr<BlockRun> obtain_block_run();
+
+  Device& dev_;
+  std::uint32_t id_;
+  std::vector<std::unique_ptr<BlockRun>> resident_;
+  std::vector<std::unique_ptr<BlockRun>> recycled_;
+  std::uint32_t resident_threads_ = 0;
+  std::uint64_t fiber_resumes_ = 0;
+  std::uint64_t rounds_ = 0;
+  std::uint64_t blocks_run_ = 0;
+};
+
+}  // namespace toma::gpu

@@ -1,0 +1,57 @@
+// Fiber stack management.
+//
+// Stacks are mmap'd with an inaccessible guard page below the usable range
+// so a fiber overflow faults instead of silently corrupting a neighbouring
+// fiber. A free-list pool recycles stacks across thread-block waves, since
+// a large grid creates and destroys fibers continuously.
+#pragma once
+
+#include <cstddef>
+#include <mutex>
+#include <vector>
+
+namespace toma::gpu {
+
+/// One mmap'd fiber stack. Movable, not copyable.
+class Stack {
+ public:
+  Stack() = default;
+  /// Maps `usable_bytes` of stack plus one guard page. Aborts on OOM
+  /// (fiber stacks are infrastructure; failing lazily helps nobody).
+  explicit Stack(std::size_t usable_bytes);
+  ~Stack();
+
+  Stack(Stack&& o) noexcept;
+  Stack& operator=(Stack&& o) noexcept;
+  Stack(const Stack&) = delete;
+  Stack& operator=(const Stack&) = delete;
+
+  bool valid() const { return base_ != nullptr; }
+  /// Highest usable address (stacks grow down); 16-byte aligned.
+  void* top() const;
+  std::size_t usable_bytes() const { return usable_; }
+
+ private:
+  void* base_ = nullptr;   // mapping start (guard page)
+  std::size_t mapped_ = 0; // total mapping length
+  std::size_t usable_ = 0;
+};
+
+/// Thread-safe pool of equally-sized stacks.
+class StackPool {
+ public:
+  explicit StackPool(std::size_t stack_bytes) : stack_bytes_(stack_bytes) {}
+
+  Stack acquire();
+  void release(Stack s);
+
+  std::size_t stack_bytes() const { return stack_bytes_; }
+  std::size_t pooled() const;
+
+ private:
+  std::size_t stack_bytes_;
+  mutable std::mutex mu_;
+  std::vector<Stack> free_;
+};
+
+}  // namespace toma::gpu

@@ -1,0 +1,103 @@
+#include "gpusim/this_thread.hpp"
+
+#include <thread>
+
+#include "gpusim/block.hpp"
+#include "gpusim/device.hpp"
+#include "gpusim/sm.hpp"
+#include "util/assert.hpp"
+#include "util/prng.hpp"
+
+namespace toma::gpu {
+
+namespace {
+thread_local ThreadCtx* tl_current = nullptr;
+
+std::uint64_t os_thread_hash() {
+  return util::hash64(
+      std::hash<std::thread::id>{}(std::this_thread::get_id()));
+}
+
+util::Xorshift& os_thread_rng() {
+  thread_local util::Xorshift rng(os_thread_hash());
+  return rng;
+}
+}  // namespace
+
+namespace detail {
+// Scheduler hook: the SM publishes the fiber it is about to resume.
+void set_current(ThreadCtx* ctx) { tl_current = ctx; }
+}  // namespace detail
+
+namespace this_thread {
+
+ThreadCtx* current() { return tl_current; }
+
+bool in_kernel() { return tl_current != nullptr; }
+
+void yield() {
+  if (ThreadCtx* ctx = tl_current) {
+    ctx->yield();
+  } else {
+    std::this_thread::yield();
+  }
+}
+
+util::Xorshift& rng() {
+  if (ThreadCtx* ctx = tl_current) return ctx->rng();
+  return os_thread_rng();
+}
+
+std::uint64_t scatter_seed() { return rng().next(); }
+
+std::uint32_t sm_id_or_hash(std::uint32_t num_sms) {
+  TOMA_DASSERT(num_sms > 0);
+  if (ThreadCtx* ctx = tl_current) return ctx->sm_id() % num_sms;
+  return static_cast<std::uint32_t>(os_thread_hash() % num_sms);
+}
+
+}  // namespace this_thread
+
+// ---- ThreadCtx methods that need full BlockRun/Fiber definitions --------
+
+Dim3 ThreadCtx::thread_idx() const {
+  return launch_->block.decode(thread_rank_);
+}
+
+Dim3 ThreadCtx::block_idx() const { return launch_->grid.decode(block_rank_); }
+
+Dim3 ThreadCtx::block_dim() const { return launch_->block; }
+
+Dim3 ThreadCtx::grid_dim() const { return launch_->grid; }
+
+std::uint64_t ThreadCtx::global_rank() const {
+  return block_rank_ * launch_->threads_per_block + thread_rank_;
+}
+
+void ThreadCtx::yield() {
+  TOMA_DASSERT(tl_current == this);
+  fiber_->suspend();
+}
+
+void ThreadCtx::sync_block() { block_->barrier.arrive_and_wait(*this); }
+
+void* ThreadCtx::shared_mem() const { return block_->shared_mem.data(); }
+
+std::size_t ThreadCtx::shared_mem_bytes() const {
+  return block_->shared_mem.size();
+}
+
+void ThreadCtx::fiber_entry(void* arg) {
+  auto* ctx = static_cast<ThreadCtx*>(arg);
+  try {
+    (*ctx->launch_->kernel)(*ctx);
+  } catch (...) {
+    ctx->launch_->record_error(std::current_exception());
+  }
+  ctx->block_->barrier.thread_exited();
+  ctx->fiber_->mark_finished();
+  ctx->fiber_->suspend();
+  TOMA_UNREACHABLE();  // a finished fiber must never be resumed
+}
+
+}  // namespace toma::gpu

@@ -1,0 +1,35 @@
+// Access to the current simulated thread, usable from any code.
+//
+// The synchronization primitives (bulk semaphores, RCU, mutexes) call
+// `this_thread::yield()` in their wait loops. Inside a kernel this
+// suspends the calling fiber; outside (plain unit tests on OS threads) it
+// falls back to std::this_thread::yield(). This keeps every primitive
+// testable both under gpusim and under ordinary preemptive threads.
+#pragma once
+
+#include <cstdint>
+
+#include "gpusim/kernel.hpp"
+
+namespace toma::gpu::this_thread {
+
+/// The currently executing simulated thread, or nullptr outside a kernel.
+ThreadCtx* current();
+
+/// True when running inside a simulated kernel.
+bool in_kernel();
+
+/// Cooperative yield (fiber suspend in-kernel, OS yield otherwise).
+void yield();
+
+/// Per-thread PRNG (fiber-local in-kernel, thread_local otherwise).
+util::Xorshift& rng();
+
+/// Fresh scatter seed; different on every call.
+std::uint64_t scatter_seed();
+
+/// The SM the calling thread runs on, or a stable hash of the OS thread id
+/// outside a kernel (so arena selection still works in plain tests).
+std::uint32_t sm_id_or_hash(std::uint32_t num_sms);
+
+}  // namespace toma::gpu::this_thread

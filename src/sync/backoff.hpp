@@ -1,0 +1,44 @@
+// Contention backoff for spin loops in device code.
+//
+// Short bursts of cpu_relax to ride out cache-line ping-pong, then a
+// cooperative yield so other fibers (or OS threads) make progress. Every
+// spin loop in the library funnels through this type, which is what makes
+// the primitives safe under the simulator's cooperative scheduling.
+#pragma once
+
+#include <cstdint>
+
+#include "gpusim/this_thread.hpp"
+
+namespace toma::sync {
+
+inline void cpu_relax() {
+#if defined(__x86_64__) || defined(__i386__)
+  __builtin_ia32_pause();
+#else
+  asm volatile("" ::: "memory");
+#endif
+}
+
+class Backoff {
+ public:
+  explicit Backoff(std::uint32_t spins_before_yield = 4)
+      : limit_(spins_before_yield) {}
+
+  void pause() {
+    if (count_ < limit_) {
+      ++count_;
+      cpu_relax();
+    } else {
+      gpu::this_thread::yield();
+    }
+  }
+
+  void reset() { count_ = 0; }
+
+ private:
+  std::uint32_t count_ = 0;
+  std::uint32_t limit_;
+};
+
+}  // namespace toma::sync

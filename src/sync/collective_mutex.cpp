@@ -1,0 +1,10 @@
+// Collective<M> is header-only; this TU exists to give the sync library a
+// home for explicit instantiations used widely enough to be worth compiling
+// once.
+#include "sync/collective_mutex.hpp"
+
+namespace toma::sync {
+
+template class Collective<SpinMutex>;
+
+}  // namespace toma::sync

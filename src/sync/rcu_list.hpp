@@ -1,0 +1,108 @@
+// RCU-protected circular doubly-linked intrusive list.
+//
+// The structure the paper builds its UAlloc bin free-lists on (§4.2.1):
+// readers traverse concurrently with writers; writers serialize on a
+// mutex, *logically* remove a node (unlink), and defer making the node
+// reusable until a grace period has passed — via a classical or a
+// delegated (conditional) RCU barrier.
+//
+// Unlinking intentionally leaves the removed node's own next/prev intact,
+// so a reader standing on the node keeps a valid path back into the list.
+// Re-linking a node before its grace period completes would corrupt that
+// path; callers gate reuse on the reclamation callback (see alloc/ualloc
+// and the Figure 6 benchmark).
+#pragma once
+
+#include <atomic>
+
+#include "sync/rcu.hpp"
+#include "sync/spin_mutex.hpp"
+#include "util/assert.hpp"
+
+namespace toma::sync {
+
+struct RcuListNode {
+  std::atomic<RcuListNode*> next{nullptr};
+  std::atomic<RcuListNode*> prev{nullptr};
+};
+
+class RcuList {
+ public:
+  explicit RcuList(SrcuDomain& dom) : dom_(&dom) {
+    head_.next.store(&head_, std::memory_order_relaxed);
+    head_.prev.store(&head_, std::memory_order_relaxed);
+  }
+  RcuList(const RcuList&) = delete;
+  RcuList& operator=(const RcuList&) = delete;
+
+  SrcuDomain& domain() { return *dom_; }
+
+  // --- writer side (serialize via writer_lock or an external protocol) ----
+  void writer_lock() { writer_mu_.lock(); }
+  void writer_unlock() { writer_mu_.unlock(); }
+
+  /// Insert at the front. Caller holds the writer lock and guarantees `n`
+  /// is not reachable by any reader (fresh, or past its grace period).
+  void push_front_locked(RcuListNode* n) {
+    RcuListNode* first = head_.next.load(std::memory_order_relaxed);
+    n->prev.store(&head_, std::memory_order_relaxed);
+    n->next.store(first, std::memory_order_relaxed);
+    first->prev.store(n, std::memory_order_relaxed);
+    // Publication point: readers walking head_.next now see n, whose own
+    // pointers are already valid.
+    head_.next.store(n, std::memory_order_release);
+  }
+
+  /// Insert at the back (same preconditions as push_front_locked).
+  void push_back_locked(RcuListNode* n) {
+    RcuListNode* last = head_.prev.load(std::memory_order_relaxed);
+    n->next.store(&head_, std::memory_order_relaxed);
+    n->prev.store(last, std::memory_order_relaxed);
+    head_.prev.store(n, std::memory_order_relaxed);
+    last->next.store(n, std::memory_order_release);
+  }
+
+  /// Logically remove `n` (caller holds the writer lock). n's own
+  /// next/prev are preserved for concurrent readers; n may be re-linked
+  /// only after a grace period (synchronize/barrier_conditional).
+  void unlink_locked(RcuListNode* n) {
+    TOMA_DASSERT(n != &head_);
+    RcuListNode* p = n->prev.load(std::memory_order_relaxed);
+    RcuListNode* nx = n->next.load(std::memory_order_relaxed);
+    nx->prev.store(p, std::memory_order_relaxed);
+    p->next.store(nx, std::memory_order_release);
+  }
+
+  // --- reader side (wrap with RcuReadGuard on the domain) -----------------
+  RcuListNode* reader_begin() {
+    return head_.next.load(std::memory_order_acquire);
+  }
+  static RcuListNode* reader_next(RcuListNode* n) {
+    return n->next.load(std::memory_order_acquire);
+  }
+  bool is_end(const RcuListNode* n) const { return n == &head_; }
+
+  /// Convenience: visit nodes under a read-side critical section until
+  /// `f` returns true (found) or the list is exhausted. Returns the node
+  /// `f` accepted, or nullptr. `f` must not block on the writer lock.
+  template <typename F>
+  RcuListNode* find_reader(F&& f) {
+    RcuReadGuard guard(*dom_);
+    for (RcuListNode* n = reader_begin(); !is_end(n); n = reader_next(n)) {
+      if (f(n)) return n;
+    }
+    return nullptr;
+  }
+
+  /// Writer-side emptiness probe (approximate under concurrency).
+  bool empty() const {
+    return head_.next.load(std::memory_order_acquire) == &head_;
+  }
+
+ private:
+  SrcuDomain* dom_;
+  SpinMutex writer_mu_;
+  RcuListNode head_;
+};
+
+}  // namespace toma::sync

@@ -1,0 +1,10 @@
+// Umbrella header for the synchronization primitives.
+#pragma once
+
+#include "sync/backoff.hpp"
+#include "sync/bulk_semaphore.hpp"
+#include "sync/collective_mutex.hpp"
+#include "sync/counting_semaphore.hpp"
+#include "sync/rcu.hpp"
+#include "sync/rcu_list.hpp"
+#include "sync/spin_mutex.hpp"

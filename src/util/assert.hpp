@@ -1,0 +1,42 @@
+// Assertion and diagnostics macros for the toma library.
+//
+// TOMA_ASSERT   -- always-on invariant check (used on cold paths and in the
+//                  allocator's consistency machinery).
+// TOMA_DASSERT  -- debug-only check, compiled out in NDEBUG builds (used on
+//                  hot paths such as semaphore CAS loops).
+// TOMA_UNREACHABLE -- marks impossible control flow.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace toma::util {
+
+[[noreturn]] inline void assert_fail(const char* expr, const char* file,
+                                     int line, const char* msg) {
+  std::fprintf(stderr, "toma: assertion `%s` failed at %s:%d%s%s\n", expr,
+               file, line, msg ? ": " : "", msg ? msg : "");
+  std::fflush(stderr);
+  std::abort();
+}
+
+}  // namespace toma::util
+
+#define TOMA_ASSERT(expr)                                                  \
+  do {                                                                     \
+    if (!(expr)) ::toma::util::assert_fail(#expr, __FILE__, __LINE__, nullptr); \
+  } while (0)
+
+#define TOMA_ASSERT_MSG(expr, msg)                                         \
+  do {                                                                     \
+    if (!(expr)) ::toma::util::assert_fail(#expr, __FILE__, __LINE__, msg); \
+  } while (0)
+
+#ifdef NDEBUG
+#define TOMA_DASSERT(expr) ((void)0)
+#else
+#define TOMA_DASSERT(expr) TOMA_ASSERT(expr)
+#endif
+
+#define TOMA_UNREACHABLE()                                                  \
+  ::toma::util::assert_fail("unreachable", __FILE__, __LINE__, nullptr)

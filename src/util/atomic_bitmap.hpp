@@ -1,0 +1,132 @@
+// Concurrent fixed-capacity bitmaps.
+//
+// UAlloc tracks block occupancy inside a bin (up to 512 blocks) and bin
+// occupancy inside a chunk (64 bins) with bitmaps updated by atomic RMW.
+// To avoid every thread hammering word 0, searches are *scattered*: each
+// caller starts at a word/bit derived from its own seed, the same trick
+// ScatterAlloc uses and that the paper reuses for its tree descent.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+
+#include "util/assert.hpp"
+#include "util/bitops.hpp"
+#include "util/prng.hpp"
+
+namespace toma::util {
+
+/// View over an externally-owned array of atomic words forming a bitmap of
+/// `nbits` bits. Bit i lives in word i/64 at position i%64. The storage is
+/// plain uint64_t (so it can live inside raw allocator metadata); all
+/// accesses go through std::atomic_ref.
+class AtomicBitmapRef {
+ public:
+  AtomicBitmapRef(std::uint64_t* words, std::uint32_t nbits)
+      : words_(words), nbits_(nbits) {}
+
+  static constexpr std::uint32_t words_for(std::uint32_t nbits) {
+    return (nbits + 63) / 64;
+  }
+
+  std::uint32_t size() const { return nbits_; }
+
+  /// Atomically set bit `i`; returns true iff the bit was previously clear
+  /// (i.e. this caller owns the transition).
+  bool try_set(std::uint32_t i) {
+    TOMA_DASSERT(i < nbits_);
+    const std::uint64_t mask = std::uint64_t{1} << (i % 64);
+    std::atomic_ref<std::uint64_t> w(words_[i / 64]);
+    return (w.fetch_or(mask, std::memory_order_acq_rel) & mask) == 0;
+  }
+
+  /// Atomically clear bit `i`; returns true iff the bit was previously set.
+  bool try_clear(std::uint32_t i) {
+    TOMA_DASSERT(i < nbits_);
+    const std::uint64_t mask = std::uint64_t{1} << (i % 64);
+    std::atomic_ref<std::uint64_t> w(words_[i / 64]);
+    return (w.fetch_and(~mask, std::memory_order_acq_rel) & mask) != 0;
+  }
+
+  bool test(std::uint32_t i) const {
+    TOMA_DASSERT(i < nbits_);
+    const std::uint64_t mask = std::uint64_t{1} << (i % 64);
+    std::atomic_ref<const std::uint64_t> w(words_[i / 64]);
+    return (w.load(std::memory_order_acquire) & mask) != 0;
+  }
+
+  /// Find a clear bit and atomically set it, scattering the search start by
+  /// `seed`. Returns the bit index, or kNone if no clear bit was found in a
+  /// full pass. Callers that hold a unit from the accounting stage (the
+  /// semaphore) retry until success, since a unit is guaranteed to exist.
+  static constexpr std::uint32_t kNone = 0xffffffffu;
+
+  std::uint32_t claim_clear_bit(std::uint64_t seed) {
+    const std::uint32_t nwords = words_for(nbits_);
+    const std::uint32_t start = static_cast<std::uint32_t>(
+        hash64(seed) % nwords);
+    for (std::uint32_t k = 0; k < nwords; ++k) {
+      const std::uint32_t wi = (start + k) % nwords;
+      std::atomic_ref<std::uint64_t> w(words_[wi]);
+      std::uint64_t cur = w.load(std::memory_order_relaxed);
+      while (true) {
+        std::uint64_t avail = ~cur & valid_mask(wi);
+        if (avail == 0) break;
+        // Rotate so different seeds prefer different bits in the word.
+        const unsigned rot = static_cast<unsigned>(hash64(seed ^ wi) & 63);
+        const std::uint64_t rotated = rotl64(avail, rot);
+        const unsigned bit = (ctz(rotated) + 64 - rot) % 64;
+        const std::uint64_t mask = std::uint64_t{1} << bit;
+        if (w.compare_exchange_weak(cur, cur | mask,
+                                    std::memory_order_acq_rel,
+                                    std::memory_order_relaxed)) {
+          return wi * 64 + bit;
+        }
+        // cur reloaded by the failed CAS; retry within this word.
+      }
+    }
+    return kNone;
+  }
+
+  /// Clear bit `i`; asserts the bit was set (double-free detection hook).
+  void release_bit(std::uint32_t i) {
+    const bool was_set = try_clear(i);
+    TOMA_ASSERT_MSG(was_set, "bitmap release of an unset bit (double free?)");
+  }
+
+  /// Population count over the whole map (not atomic as a whole; intended
+  /// for tests/statistics on quiesced maps).
+  std::uint32_t count() const {
+    std::uint32_t n = 0;
+    for (std::uint32_t wi = 0; wi < words_for(nbits_); ++wi) {
+      std::atomic_ref<const std::uint64_t> w(words_[wi]);
+      n += popcount(w.load(std::memory_order_acquire) & valid_mask(wi));
+    }
+    return n;
+  }
+
+  /// Set all bits >= nbits in the last word so they are never claimable,
+  /// and clear all valid bits. Call once before concurrent use.
+  void reset() {
+    const std::uint32_t nwords = words_for(nbits_);
+    for (std::uint32_t wi = 0; wi < nwords; ++wi) {
+      std::atomic_ref<std::uint64_t> w(words_[wi]);
+      w.store(~valid_mask(wi), std::memory_order_release);
+    }
+  }
+
+ private:
+  // Mask of bits in word `wi` that correspond to indices < nbits_.
+  std::uint64_t valid_mask(std::uint32_t wi) const {
+    const std::uint32_t base = wi * 64;
+    if (base + 64 <= nbits_) return ~std::uint64_t{0};
+    const std::uint32_t rem = nbits_ - base;
+    return rem == 0 ? 0 : (~std::uint64_t{0} >> (64 - rem));
+  }
+
+  std::uint64_t* words_;
+  std::uint32_t nbits_;
+};
+
+}  // namespace toma::util

@@ -1,0 +1,74 @@
+// Bit manipulation and power-of-two arithmetic helpers.
+//
+// The allocator works exclusively with power-of-two sizes and alignments
+// (buddy orders, size classes, chunk/bin geometry), so these helpers are on
+// nearly every allocation path.
+#pragma once
+
+#include <bit>
+#include <cstddef>
+#include <cstdint>
+
+#include "util/assert.hpp"
+
+namespace toma::util {
+
+/// True iff `x` is a power of two. Zero is not a power of two.
+constexpr bool is_pow2(std::uint64_t x) { return x != 0 && (x & (x - 1)) == 0; }
+
+/// floor(log2(x)). Precondition: x != 0.
+constexpr unsigned log2_floor(std::uint64_t x) {
+  TOMA_DASSERT(x != 0);
+  return 63u - static_cast<unsigned>(std::countl_zero(x));
+}
+
+/// ceil(log2(x)). Precondition: x != 0.
+constexpr unsigned log2_ceil(std::uint64_t x) {
+  TOMA_DASSERT(x != 0);
+  return x == 1 ? 0 : log2_floor(x - 1) + 1;
+}
+
+/// Smallest power of two >= x. Precondition: x != 0 and result fits u64.
+constexpr std::uint64_t round_up_pow2(std::uint64_t x) {
+  return std::uint64_t{1} << log2_ceil(x);
+}
+
+/// Round `v` up to a multiple of power-of-two `align`.
+constexpr std::uint64_t align_up(std::uint64_t v, std::uint64_t align) {
+  TOMA_DASSERT(is_pow2(align));
+  return (v + align - 1) & ~(align - 1);
+}
+
+/// Round `v` down to a multiple of power-of-two `align`.
+constexpr std::uint64_t align_down(std::uint64_t v, std::uint64_t align) {
+  TOMA_DASSERT(is_pow2(align));
+  return v & ~(align - 1);
+}
+
+/// True iff `v` is a multiple of power-of-two `align`.
+constexpr bool is_aligned(std::uint64_t v, std::uint64_t align) {
+  TOMA_DASSERT(is_pow2(align));
+  return (v & (align - 1)) == 0;
+}
+
+inline bool is_aligned(const void* p, std::uint64_t align) {
+  return is_aligned(reinterpret_cast<std::uintptr_t>(p), align);
+}
+
+/// Index of the lowest set bit. Precondition: x != 0.
+constexpr unsigned ctz(std::uint64_t x) {
+  TOMA_DASSERT(x != 0);
+  return static_cast<unsigned>(std::countr_zero(x));
+}
+
+/// Number of set bits.
+constexpr unsigned popcount(std::uint64_t x) {
+  return static_cast<unsigned>(std::popcount(x));
+}
+
+/// Rotate a 64-bit word left by `r` (r in [0,63]).
+constexpr std::uint64_t rotl64(std::uint64_t x, unsigned r) {
+  return std::rotl(x, static_cast<int>(r));
+}
+
+}  // namespace toma::util

@@ -1,0 +1,108 @@
+// Intrusive doubly-linked list.
+//
+// Used for allocator metadata (bin free-lists, chunk lists) where nodes are
+// embedded in memory the allocator itself manages, so no heap allocation may
+// happen while manipulating the list. Mutation must be externally
+// synchronized (the allocator uses RCU + a writer mutex); traversal during
+// concurrent unlink is the RCU reader side and is handled in sync/rcu_list.
+#pragma once
+
+#include <cstddef>
+
+#include "util/assert.hpp"
+
+namespace toma::util {
+
+struct ListNode {
+  ListNode* prev = nullptr;
+  ListNode* next = nullptr;
+
+  bool linked() const { return prev != nullptr || next != nullptr; }
+  void clear() { prev = next = nullptr; }
+};
+
+/// Circular intrusive list with a sentinel head. `T` must derive from
+/// ListNode via `Tag` (allows membership in several lists at once).
+template <typename T, ListNode T::* Member>
+class IntrusiveList {
+ public:
+  IntrusiveList() { head_.prev = head_.next = &head_; }
+
+  IntrusiveList(const IntrusiveList&) = delete;
+  IntrusiveList& operator=(const IntrusiveList&) = delete;
+
+  bool empty() const { return head_.next == &head_; }
+
+  std::size_t size() const {
+    std::size_t n = 0;
+    for (const ListNode* p = head_.next; p != &head_; p = p->next) ++n;
+    return n;
+  }
+
+  void push_front(T* obj) { insert_after(&head_, node_of(obj)); }
+  void push_back(T* obj) { insert_after(head_.prev, node_of(obj)); }
+
+  T* front() const { return empty() ? nullptr : object_of(head_.next); }
+  T* back() const { return empty() ? nullptr : object_of(head_.prev); }
+
+  /// Unlink `obj`; the node's pointers are cleared.
+  void erase(T* obj) {
+    ListNode* n = node_of(obj);
+    TOMA_DASSERT(n->linked());
+    n->prev->next = n->next;
+    n->next->prev = n->prev;
+    n->clear();
+  }
+
+  T* pop_front() {
+    if (empty()) return nullptr;
+    T* obj = object_of(head_.next);
+    erase(obj);
+    return obj;
+  }
+
+  /// Forward iteration. Safe against erasing the *current* element if the
+  /// caller saves `next` first; the allocator's RCU list handles the
+  /// concurrent case instead.
+  class iterator {
+   public:
+    iterator(ListNode* n, const ListNode* head) : n_(n), head_(head) {}
+    T& operator*() const { return *object_of(n_); }
+    T* operator->() const { return object_of(n_); }
+    iterator& operator++() {
+      n_ = n_->next;
+      return *this;
+    }
+    bool operator==(const iterator& o) const { return n_ == o.n_; }
+
+   private:
+    ListNode* n_;
+    const ListNode* head_;
+  };
+
+  iterator begin() { return iterator(head_.next, &head_); }
+  iterator end() { return iterator(&head_, &head_); }
+
+  static ListNode* node_of(T* obj) { return &(obj->*Member); }
+  static T* object_of(ListNode* n) {
+    // Standard-layout container_of via member pointer arithmetic.
+    const auto offset = reinterpret_cast<std::size_t>(
+        &(reinterpret_cast<T const volatile*>(kProbe)->*Member)) - kProbe;
+    return reinterpret_cast<T*>(reinterpret_cast<char*>(n) - offset);
+  }
+
+ private:
+  static constexpr std::size_t kProbe = 0x1000;  // non-null probe address
+
+  static void insert_after(ListNode* pos, ListNode* n) {
+    TOMA_DASSERT(!n->linked());
+    n->prev = pos;
+    n->next = pos->next;
+    pos->next->prev = n;
+    pos->next = n;
+  }
+
+  ListNode head_;
+};
+
+}  // namespace toma::util

@@ -1,0 +1,68 @@
+// Small, fast pseudo-random number generators.
+//
+// Used for (a) scattering concurrent tree/bitmap searches so threads do not
+// collide on the same word (the "hashing" technique the paper borrows from
+// ScatterAlloc), and (b) workload generation in the benchmarks. These must
+// be cheap (a few ALU ops) and per-thread seedable without shared state.
+#pragma once
+
+#include <cstdint>
+
+namespace toma::util {
+
+/// SplitMix64: used to expand a seed into well-distributed initial state.
+constexpr std::uint64_t splitmix64(std::uint64_t& state) {
+  std::uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+/// Stateless hash of a 64-bit value (finalizer of MurmurHash3).
+constexpr std::uint64_t hash64(std::uint64_t x) {
+  x ^= x >> 33;
+  x *= 0xff51afd7ed558ccdULL;
+  x ^= x >> 33;
+  x *= 0xc4ceb9fe1a85ec53ULL;
+  x ^= x >> 33;
+  return x;
+}
+
+/// Xorshift128+ generator: tiny state, passes BigCrush except binary rank.
+class Xorshift {
+ public:
+  explicit constexpr Xorshift(std::uint64_t seed = 0x853c49e6748fea9bULL) {
+    std::uint64_t sm = seed;
+    s0_ = splitmix64(sm);
+    s1_ = splitmix64(sm);
+    if (s0_ == 0 && s1_ == 0) s1_ = 1;  // all-zero state is absorbing
+  }
+
+  constexpr std::uint64_t next() {
+    std::uint64_t x = s0_;
+    const std::uint64_t y = s1_;
+    s0_ = y;
+    x ^= x << 23;
+    s1_ = x ^ y ^ (x >> 17) ^ (y >> 26);
+    return s1_ + y;
+  }
+
+  /// Uniform value in [0, bound). Precondition: bound != 0.
+  constexpr std::uint64_t next_below(std::uint64_t bound) {
+    // Lemire's multiply-shift rejection-free mapping (slightly biased for
+    // huge bounds, irrelevant for scatter/benchmark use).
+    return static_cast<std::uint64_t>(
+        (static_cast<unsigned __int128>(next()) * bound) >> 64);
+  }
+
+  /// Uniform double in [0, 1).
+  constexpr double next_double() {
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+  }
+
+ private:
+  std::uint64_t s0_;
+  std::uint64_t s1_;
+};
+
+}  // namespace toma::util

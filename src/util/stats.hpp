@@ -1,0 +1,66 @@
+// Lightweight statistics accumulators for benchmarks and allocator
+// introspection: streaming mean/min/max/variance (Welford) and a quantile
+// sampler used by the benchmark harness to report run-to-run noise.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+namespace toma::util {
+
+/// Streaming accumulator (Welford's algorithm). O(1) space.
+class RunningStats {
+ public:
+  void add(double x) {
+    ++n_;
+    const double d = x - mean_;
+    mean_ += d / static_cast<double>(n_);
+    m2_ += d * (x - mean_);
+    if (x < min_) min_ = x;
+    if (x > max_) max_ = x;
+  }
+
+  std::uint64_t count() const { return n_; }
+  double mean() const { return n_ ? mean_ : 0.0; }
+  double min() const { return n_ ? min_ : 0.0; }
+  double max() const { return n_ ? max_ : 0.0; }
+  double variance() const {
+    return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0;
+  }
+  double stddev() const { return std::sqrt(variance()); }
+
+  void merge(const RunningStats& o);
+
+ private:
+  std::uint64_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/// Stores all samples; supports exact quantiles. Intended for benchmark
+/// repetitions (small n), not per-operation latencies.
+class SampleSet {
+ public:
+  void add(double x) { samples_.push_back(x); }
+  std::size_t count() const { return samples_.size(); }
+  double mean() const;
+  double median() { return quantile(0.5); }
+  /// Exact quantile by sorting a copy-on-demand; q in [0,1].
+  double quantile(double q);
+  double min();
+  double max();
+
+ private:
+  std::vector<double> samples_;
+};
+
+/// Format a double with engineering suffixes (k, M, G) for table output,
+/// e.g. 1.25e7 -> "12.5M".
+std::string eng_format(double v, int precision = 3);
+
+}  // namespace toma::util

@@ -1,0 +1,94 @@
+#include "util/table.hpp"
+
+#include <algorithm>
+#include <cinttypes>
+
+#include "util/assert.hpp"
+
+namespace toma::util {
+
+void Table::set_header(std::vector<std::string> cols) {
+  TOMA_ASSERT(rows_.empty());
+  header_ = std::move(cols);
+}
+
+void Table::add_row(std::vector<std::string> cells) {
+  TOMA_ASSERT_MSG(header_.empty() || cells.size() == header_.size(),
+                  "row width does not match header");
+  rows_.push_back(std::move(cells));
+}
+
+std::string Table::to_cell(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.4g", v);
+  return buf;
+}
+
+std::string Table::to_cell(std::uint64_t v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%" PRIu64, v);
+  return buf;
+}
+
+std::string Table::to_cell(std::int64_t v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%" PRId64, v);
+  return buf;
+}
+
+void Table::print(std::FILE* out) const {
+  const std::size_t ncols =
+      header_.empty() ? (rows_.empty() ? 0 : rows_[0].size()) : header_.size();
+  std::vector<std::size_t> widths(ncols, 0);
+  for (std::size_t c = 0; c < ncols; ++c) {
+    if (c < header_.size()) widths[c] = header_[c].size();
+    for (const auto& row : rows_) {
+      if (c < row.size()) widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+
+  auto print_sep = [&] {
+    std::fputc('+', out);
+    for (std::size_t c = 0; c < ncols; ++c) {
+      for (std::size_t i = 0; i < widths[c] + 2; ++i) std::fputc('-', out);
+      std::fputc('+', out);
+    }
+    std::fputc('\n', out);
+  };
+  auto print_row = [&](const std::vector<std::string>& row) {
+    std::fputc('|', out);
+    for (std::size_t c = 0; c < ncols; ++c) {
+      const std::string& cell = c < row.size() ? row[c] : std::string();
+      std::fprintf(out, " %-*s |", static_cast<int>(widths[c]), cell.c_str());
+    }
+    std::fputc('\n', out);
+  };
+
+  if (!title_.empty()) std::fprintf(out, "\n== %s ==\n", title_.c_str());
+  print_sep();
+  if (!header_.empty()) {
+    print_row(header_);
+    print_sep();
+  }
+  for (const auto& row : rows_) print_row(row);
+  print_sep();
+  std::fflush(out);
+}
+
+bool Table::write_csv(const std::string& path) const {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (!f) return false;
+  auto write_row = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      if (c) std::fputc(',', f);
+      std::fputs(row[c].c_str(), f);
+    }
+    std::fputc('\n', f);
+  };
+  if (!header_.empty()) write_row(header_);
+  for (const auto& row : rows_) write_row(row);
+  std::fclose(f);
+  return true;
+}
+
+}  // namespace toma::util

@@ -1,0 +1,55 @@
+// ASCII table and CSV emission for the benchmark harness.
+//
+// Every figure-reproduction bench prints (a) a human-readable table with the
+// same rows/series the paper plots, and (b) machine-readable CSV (when a
+// path is given) so the results can be re-plotted.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <type_traits>
+#include <cstdint>
+#include <vector>
+
+namespace toma::util {
+
+class Table {
+ public:
+  explicit Table(std::string title) : title_(std::move(title)) {}
+
+  /// Set the header row. Must be called before any add_row.
+  void set_header(std::vector<std::string> cols);
+
+  void add_row(std::vector<std::string> cells);
+
+  /// Convenience: format heterogeneous cells.
+  template <typename... Ts>
+  void add(const Ts&... vals) {
+    add_row({to_cell(vals)...});
+  }
+
+  /// Print aligned ASCII table to `out` (default stdout).
+  void print(std::FILE* out = stdout) const;
+
+  /// Write CSV to `path`; returns false on I/O error.
+  bool write_csv(const std::string& path) const;
+
+ private:
+  static std::string to_cell(const std::string& s) { return s; }
+  static std::string to_cell(const char* s) { return s; }
+  static std::string to_cell(double v);
+  static std::string to_cell(std::uint64_t v);
+  static std::string to_cell(std::int64_t v);
+  template <typename T>
+    requires std::is_integral_v<T>
+  static std::string to_cell(T v) {
+    if constexpr (std::is_signed_v<T>) return to_cell(std::int64_t{v});
+    else return to_cell(std::uint64_t{v});
+  }
+
+  std::string title_;
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace toma::util

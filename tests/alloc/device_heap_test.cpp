@@ -1,0 +1,64 @@
+#include "alloc/device_heap.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstring>
+
+#include "gpusim/gpusim.hpp"
+#include "support/test_support.hpp"
+
+namespace toma::alloc {
+namespace {
+
+TEST(DeviceHeap, InstallAndUninstall) {
+  GpuAllocator heap(4 * 1024 * 1024, 2);
+  GpuAllocator* prev = set_device_heap(&heap);
+  EXPECT_EQ(device_heap(), &heap);
+  void* p = device_malloc(64);
+  ASSERT_NE(p, nullptr);
+  EXPECT_EQ(heap.stats().mallocs, 1u);
+  device_free(p);
+  EXPECT_EQ(heap.stats().frees, 1u);
+  set_device_heap(prev);
+}
+
+TEST(DeviceHeap, ScopeRestoresPrevious) {
+  GpuAllocator outer(4 * 1024 * 1024, 2);
+  GpuAllocator inner(4 * 1024 * 1024, 2);
+  GpuAllocator* prev = set_device_heap(&outer);
+  {
+    DeviceHeapScope scope(inner);
+    EXPECT_EQ(device_heap(), &inner);
+  }
+  EXPECT_EQ(device_heap(), &outer);
+  set_device_heap(prev);
+}
+
+TEST(DeviceHeap, FreeNullWithoutHeapIsSafe) {
+  GpuAllocator* prev = set_device_heap(nullptr);
+  device_free(nullptr);
+  set_device_heap(prev);
+}
+
+TEST(DeviceHeap, KernelUsesGlobalInterface) {
+  // The paper's usage shape: kernels call the standard interface without
+  // threading an allocator handle through every function.
+  GpuAllocator heap(16 * 1024 * 1024, 2);
+  DeviceHeapScope scope(heap);
+  gpu::Device dev(test::small_device());
+  std::atomic<std::uint64_t> ok{0};
+  dev.launch_linear(2048, 128, [&](gpu::ThreadCtx& t) {
+    auto* p = static_cast<std::uint8_t*>(device_malloc(48));
+    if (p == nullptr) return;
+    std::memset(p, 0x44, 48);
+    t.yield();
+    if (p[47] == 0x44) ok.fetch_add(1);
+    device_free(p);
+  });
+  EXPECT_EQ(ok.load(), 2048u);
+  EXPECT_TRUE(heap.check_consistency());
+}
+
+}  // namespace
+}  // namespace toma::alloc

@@ -1,0 +1,253 @@
+#include "alloc/tbuddy.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstring>
+#include <set>
+#include <vector>
+
+#include "alloc/config.hpp"
+#include "gpusim/gpusim.hpp"
+#include "support/test_support.hpp"
+#include "util/bitops.hpp"
+
+namespace toma::alloc {
+namespace {
+
+class TBuddyTest : public ::testing::Test {
+ protected:
+  static constexpr std::size_t kPool = 4 * 1024 * 1024;  // 1024 pages
+  TBuddyTest() : pool_(kPool), buddy_(pool_.get(), kPool) {}
+  test::AlignedPool pool_;
+  TBuddy buddy_;
+};
+
+TEST_F(TBuddyTest, InitialState) {
+  EXPECT_EQ(buddy_.max_order(), 10u);  // 2^10 pages
+  EXPECT_EQ(buddy_.available(10), 1u);
+  for (std::uint32_t h = 0; h < 10; ++h) EXPECT_EQ(buddy_.available(h), 0u);
+  EXPECT_EQ(buddy_.free_bytes(), kPool);
+  EXPECT_EQ(buddy_.largest_free_block(), kPool);
+  EXPECT_TRUE(buddy_.check_consistency());
+}
+
+TEST_F(TBuddyTest, SingleAllocFree) {
+  void* p = buddy_.allocate(0);
+  ASSERT_NE(p, nullptr);
+  EXPECT_TRUE(buddy_.contains(p));
+  EXPECT_TRUE(util::is_aligned(p, kPageSize));
+  EXPECT_EQ(buddy_.free_bytes(), kPool - kPageSize);
+  buddy_.free(p);
+  EXPECT_EQ(buddy_.free_bytes(), kPool);
+  // Full merge back to a single root block.
+  EXPECT_EQ(buddy_.largest_free_block(), kPool);
+  EXPECT_TRUE(buddy_.check_consistency());
+}
+
+TEST_F(TBuddyTest, AlignmentMatchesOrder) {
+  for (std::uint32_t order = 0; order <= 5; ++order) {
+    void* p = buddy_.allocate(order);
+    ASSERT_NE(p, nullptr);
+    EXPECT_TRUE(util::is_aligned(p, kPageSize << order))
+        << "order " << order << " block not size-aligned";
+    buddy_.free(p);
+  }
+  EXPECT_TRUE(buddy_.check_consistency());
+}
+
+TEST_F(TBuddyTest, DisjointAllocations) {
+  std::vector<void*> ptrs;
+  std::set<std::uintptr_t> starts;
+  for (int i = 0; i < 64; ++i) {
+    void* p = buddy_.allocate(2);  // 16 KB each
+    ASSERT_NE(p, nullptr);
+    EXPECT_TRUE(starts.insert(reinterpret_cast<std::uintptr_t>(p)).second);
+    std::memset(p, i, kPageSize << 2);  // touch the whole block
+    ptrs.push_back(p);
+  }
+  // Ranges must not overlap: starts are 16 KB apart at least.
+  std::uintptr_t prev = 0;
+  for (std::uintptr_t s : starts) {
+    if (prev != 0) EXPECT_GE(s - prev, kPageSize << 2);
+    prev = s;
+  }
+  for (void* p : ptrs) buddy_.free(p);
+  EXPECT_TRUE(buddy_.check_consistency());
+  EXPECT_EQ(buddy_.largest_free_block(), kPool);
+}
+
+TEST_F(TBuddyTest, ExhaustionAtOrderZero) {
+  const std::size_t pages = kPool / kPageSize;
+  std::vector<void*> ptrs;
+  for (std::size_t i = 0; i < pages; ++i) {
+    void* p = buddy_.allocate(0);
+    ASSERT_NE(p, nullptr) << "failed at page " << i;
+    ptrs.push_back(p);
+  }
+  // Pool exactly exhausted: no fragmentation in the buddy range.
+  EXPECT_EQ(buddy_.allocate(0), nullptr);
+  EXPECT_EQ(buddy_.free_bytes(), 0u);
+  for (void* p : ptrs) buddy_.free(p);
+  EXPECT_EQ(buddy_.largest_free_block(), kPool);
+  EXPECT_TRUE(buddy_.check_consistency());
+}
+
+TEST_F(TBuddyTest, WholePoolAllocation) {
+  void* p = buddy_.allocate(buddy_.max_order());
+  ASSERT_NE(p, nullptr);
+  EXPECT_EQ(p, pool_.get());
+  EXPECT_EQ(buddy_.allocate(0), nullptr);  // nothing left
+  buddy_.free(p);
+  EXPECT_EQ(buddy_.available(buddy_.max_order()), 1u);
+  EXPECT_TRUE(buddy_.check_consistency());
+}
+
+TEST_F(TBuddyTest, OversizedOrderFails) {
+  EXPECT_EQ(buddy_.allocate(buddy_.max_order() + 1), nullptr);
+  EXPECT_TRUE(buddy_.check_consistency());
+}
+
+TEST_F(TBuddyTest, AllocateBytesRounds) {
+  void* p = buddy_.allocate_bytes(kPageSize + 1);  // -> order 1
+  ASSERT_NE(p, nullptr);
+  EXPECT_TRUE(util::is_aligned(p, 2 * kPageSize));
+  buddy_.free(p);
+  EXPECT_EQ(buddy_.allocate_bytes(0), nullptr);
+  EXPECT_TRUE(buddy_.check_consistency());
+}
+
+TEST_F(TBuddyTest, MergeCascadesAcrossOrders) {
+  // Allocate 4 sibling order-0 pages, free them all: they must cascade
+  // into one order-2 block (observable via the order-2 semaphore or a
+  // subsequent aligned allocation).
+  std::vector<void*> ptrs;
+  for (int i = 0; i < 4; ++i) ptrs.push_back(buddy_.allocate(0));
+  for (void* p : ptrs) ASSERT_NE(p, nullptr);
+  for (void* p : ptrs) buddy_.free(p);
+  EXPECT_TRUE(buddy_.check_consistency());
+  EXPECT_EQ(buddy_.largest_free_block(), kPool);
+  EXPECT_GT(buddy_.stats().merges, 0u);
+}
+
+TEST_F(TBuddyTest, MixedOrdersChurn) {
+  util::Xorshift rng(99);
+  std::vector<std::pair<void*, int>> live;
+  for (int iter = 0; iter < 2000; ++iter) {
+    if (!live.empty() && (rng.next() & 1)) {
+      const std::size_t k = rng.next_below(live.size());
+      buddy_.free(live[k].first);
+      live[k] = live.back();
+      live.pop_back();
+    } else {
+      const std::uint32_t order = static_cast<std::uint32_t>(
+          rng.next_below(6));
+      void* p = buddy_.allocate(order);
+      if (p != nullptr) {
+        // Write a canary at both ends.
+        auto* c = static_cast<unsigned char*>(p);
+        c[0] = 0xAA;
+        c[(kPageSize << order) - 1] = 0xBB;
+        live.emplace_back(p, order);
+      }
+    }
+  }
+  for (auto& [p, order] : live) buddy_.free(p);
+  EXPECT_TRUE(buddy_.check_consistency());
+  EXPECT_EQ(buddy_.largest_free_block(), kPool);
+}
+
+TEST_F(TBuddyTest, ConcurrentAllocFreeGpu) {
+  gpu::Device dev(test::small_device());
+  std::atomic<std::uint64_t> failures{0};
+  dev.launch_linear(2048, 128, [&](gpu::ThreadCtx& t) {
+    auto& rng = t.rng();
+    for (int round = 0; round < 4; ++round) {
+      const std::uint32_t order = static_cast<std::uint32_t>(
+          rng.next_below(4));
+      void* p = buddy_.allocate(order);
+      if (p == nullptr) {
+        failures.fetch_add(1, std::memory_order_relaxed);
+        continue;
+      }
+      std::memset(p, 0x5A, 64);  // touch start of block
+      t.yield();
+      buddy_.free(p);
+    }
+  });
+  EXPECT_TRUE(buddy_.check_consistency());
+  EXPECT_EQ(buddy_.free_bytes(), kPool);
+  EXPECT_EQ(buddy_.largest_free_block(), kPool)
+      << "free blocks failed to merge back";
+}
+
+TEST_F(TBuddyTest, ConcurrentDistinctOrdersConserveMemory) {
+  gpu::Device dev(test::small_device());
+  // Threads allocate-and-hold; total handed out must never exceed pool.
+  std::atomic<std::uint64_t> granted_bytes{0};
+  std::atomic<std::uint64_t> failed{0};
+  std::vector<std::atomic<void*>> slots(1024);
+  dev.launch_linear(1024, 64, [&](gpu::ThreadCtx& t) {
+    const std::uint32_t order = t.global_rank() % 3;
+    void* p = buddy_.allocate(order);
+    if (p == nullptr) {
+      failed.fetch_add(1);
+      return;
+    }
+    granted_bytes.fetch_add(kPageSize << order);
+    slots[t.global_rank()].store(p);
+  });
+  EXPECT_LE(granted_bytes.load(), kPool);
+  // Everything granted is disjoint: free them all and expect full merge.
+  for (auto& s : slots) {
+    if (void* p = s.load()) buddy_.free(p);
+  }
+  EXPECT_TRUE(buddy_.check_consistency());
+  EXPECT_EQ(buddy_.largest_free_block(), kPool);
+}
+
+// Property sweep over pool sizes: invariants hold after heavy churn.
+class TBuddyProperty : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(TBuddyProperty, ChurnPreservesInvariants) {
+  const std::size_t pool_bytes = GetParam();
+  test::AlignedPool pool(pool_bytes);
+  TBuddy buddy(pool.get(), pool_bytes);
+  util::Xorshift rng(pool_bytes);
+  std::vector<void*> live;
+  for (int iter = 0; iter < 1500; ++iter) {
+    if (!live.empty() && rng.next_below(100) < 45) {
+      const std::size_t k = rng.next_below(live.size());
+      buddy.free(live[k]);
+      live[k] = live.back();
+      live.pop_back();
+    } else {
+      const std::uint32_t order = static_cast<std::uint32_t>(
+          rng.next_below(buddy.max_order() + 1));
+      if (void* p = buddy.allocate(order)) live.push_back(p);
+    }
+  }
+  EXPECT_TRUE(buddy.check_consistency());
+  for (void* p : live) buddy.free(p);
+  EXPECT_TRUE(buddy.check_consistency());
+  EXPECT_EQ(buddy.largest_free_block(), pool_bytes);
+}
+
+INSTANTIATE_TEST_SUITE_P(Pools, TBuddyProperty,
+                         ::testing::Values(64 * 1024, 256 * 1024,
+                                           1024 * 1024, 8 * 1024 * 1024));
+
+TEST(TBuddySmall, MinimalPoolSinglePage) {
+  test::AlignedPool pool(kPageSize);
+  TBuddy buddy(pool.get(), kPageSize);
+  EXPECT_EQ(buddy.max_order(), 0u);
+  void* p = buddy.allocate(0);
+  ASSERT_NE(p, nullptr);
+  EXPECT_EQ(buddy.allocate(0), nullptr);
+  buddy.free(p);
+  EXPECT_EQ(buddy.available(0), 1u);
+  EXPECT_TRUE(buddy.check_consistency());
+}
+
+}  // namespace
+}  // namespace toma::alloc

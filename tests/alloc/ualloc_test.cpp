@@ -1,0 +1,324 @@
+#include "alloc/ualloc.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstring>
+#include <set>
+#include <vector>
+
+#include "alloc/config.hpp"
+#include "gpusim/gpusim.hpp"
+#include "support/test_support.hpp"
+#include "util/bitops.hpp"
+
+namespace toma::alloc {
+namespace {
+
+class UAllocTest : public ::testing::Test {
+ protected:
+  static constexpr std::size_t kPool = 16 * 1024 * 1024;
+  UAllocTest()
+      : pool_(kPool), buddy_(pool_.get(), kPool), ua_(buddy_, /*arenas=*/2) {}
+  test::AlignedPool pool_;
+  TBuddy buddy_;
+  UAlloc ua_;
+};
+
+TEST_F(UAllocTest, GeometryConstants) {
+  EXPECT_EQ(bin_capacity(size_class_of(8)), 512u);
+  EXPECT_EQ(bin_capacity(size_class_of(16)), 256u);
+  EXPECT_EQ(bin_capacity(size_class_of(128)), 32u);
+  EXPECT_EQ(bin_capacity(size_class_of(256)), 15u);  // no tail: 3968/256
+  EXPECT_EQ(bin_capacity(size_class_of(512)), 7u);
+  EXPECT_EQ(bin_capacity(size_class_of(1024)), 3u);
+}
+
+TEST_F(UAllocTest, NeverPageAligned) {
+  for (std::size_t size : {8, 16, 32, 64, 128, 256, 512, 1024}) {
+    void* p = ua_.allocate(size);
+    ASSERT_NE(p, nullptr);
+    EXPECT_FALSE(util::is_aligned(p, kPageSize))
+        << "UAlloc returned page-aligned block for size " << size;
+    ua_.free(p);
+  }
+  EXPECT_TRUE(ua_.check_consistency());
+}
+
+TEST_F(UAllocTest, RoundTripAllSizes) {
+  for (std::size_t size : {8, 16, 32, 64, 128, 256, 512, 1024}) {
+    void* p = ua_.allocate(size);
+    ASSERT_NE(p, nullptr);
+    std::memset(p, 0xCD, size);
+    ua_.free(p);
+  }
+  EXPECT_TRUE(ua_.check_consistency());
+}
+
+TEST_F(UAllocTest, DistinctAddressesWithinBin) {
+  std::set<void*> seen;
+  std::vector<void*> ptrs;
+  for (int i = 0; i < 600; ++i) {  // more than one 8B bin (512 cap)
+    void* p = ua_.allocate(8);
+    ASSERT_NE(p, nullptr);
+    EXPECT_TRUE(seen.insert(p).second) << "duplicate address";
+    ptrs.push_back(p);
+  }
+  for (void* p : ptrs) ua_.free(p);
+  EXPECT_TRUE(ua_.check_consistency());
+}
+
+TEST_F(UAllocTest, BlocksDoNotOverlap) {
+  // Write a distinct pattern into every allocation, then verify all.
+  constexpr int kN = 256;
+  std::vector<void*> ptrs(kN);
+  std::vector<std::size_t> sizes(kN);
+  util::Xorshift rng(5);
+  for (int i = 0; i < kN; ++i) {
+    sizes[i] = std::size_t{8} << rng.next_below(8);
+    ptrs[i] = ua_.allocate(sizes[i]);
+    ASSERT_NE(ptrs[i], nullptr);
+    std::memset(ptrs[i], i & 0xff, sizes[i]);
+  }
+  for (int i = 0; i < kN; ++i) {
+    auto* c = static_cast<unsigned char*>(ptrs[i]);
+    for (std::size_t k = 0; k < sizes[i]; ++k) {
+      ASSERT_EQ(c[k], i & 0xff) << "allocation " << i << " corrupted";
+    }
+    ua_.free(ptrs[i]);
+  }
+  EXPECT_TRUE(ua_.check_consistency());
+}
+
+TEST_F(UAllocTest, TailBlocksUsedForSmallSizes) {
+  // Fill a whole 8 B bin: 512 blocks only fit because the 128 B tail is
+  // appended (3968/8 = 496 without it). Verify the tail blocks land in
+  // header bins 0/1 of the chunk and round-trip correctly.
+  std::vector<void*> ptrs;
+  int tail_blocks = 0;
+  for (int i = 0; i < 512; ++i) {
+    void* p = ua_.allocate(8);
+    ASSERT_NE(p, nullptr);
+    const std::uintptr_t off =
+        reinterpret_cast<std::uintptr_t>(p) % kChunkSize;
+    if (off / kBinSize < kHeaderBins) ++tail_blocks;
+    std::memset(p, 0x77, 8);
+    ptrs.push_back(p);
+  }
+  EXPECT_GT(tail_blocks, 0) << "no allocations used the tail space";
+  for (void* p : ptrs) ua_.free(p);
+  EXPECT_TRUE(ua_.check_consistency());
+}
+
+TEST_F(UAllocTest, ExhaustedBinUnlinksAndRelists) {
+  // Exhaust one bin of 1 KB blocks (capacity 3), then free: the bin must
+  // leave the free-list when empty and return when blocks come back.
+  std::vector<void*> ptrs;
+  for (int i = 0; i < 3; ++i) {
+    void* p = ua_.allocate(1024);
+    ASSERT_NE(p, nullptr);
+    ptrs.push_back(p);
+  }
+  const auto st1 = ua_.stats();
+  EXPECT_GE(st1.bin_unlinks, 1u);
+  for (void* p : ptrs) ua_.free(p);
+  EXPECT_TRUE(ua_.check_consistency());
+}
+
+TEST_F(UAllocTest, FullyFreedBinsRetire) {
+  // Allocate enough 1 KB blocks for several bins, free all, and confirm
+  // bins were retired back to their chunks.
+  std::vector<void*> ptrs;
+  for (int i = 0; i < 30; ++i) {
+    void* p = ua_.allocate(1024);
+    ASSERT_NE(p, nullptr);
+    ptrs.push_back(p);
+  }
+  for (void* p : ptrs) ua_.free(p);
+  const auto st = ua_.stats();
+  EXPECT_GT(st.bins_created, 0u);
+  EXPECT_GT(st.bins_retired, 0u);
+  EXPECT_TRUE(ua_.check_consistency());
+}
+
+TEST_F(UAllocTest, ChunkRetirementReturnsMemoryToBuddy) {
+  const std::size_t before = buddy_.free_bytes();
+  std::vector<void*> ptrs;
+  for (int i = 0; i < 1000; ++i) {
+    void* p = ua_.allocate(64);
+    ASSERT_NE(p, nullptr);
+    ptrs.push_back(p);
+  }
+  EXPECT_LT(buddy_.free_bytes(), before);
+  for (void* p : ptrs) ua_.free(p);
+  EXPECT_TRUE(ua_.check_consistency());
+  // Retire hysteresis keeps the last bin of the class cached; an explicit
+  // trim scavenges it and every chunk returns to the buddy.
+  ua_.trim();
+  EXPECT_EQ(ua_.stats().chunks_created, ua_.stats().chunks_retired);
+  EXPECT_EQ(buddy_.free_bytes(), before);
+  EXPECT_TRUE(buddy_.check_consistency());
+}
+
+TEST_F(UAllocTest, ConcurrentSameClassGpu) {
+  gpu::Device dev(test::small_device());
+  std::atomic<std::uint64_t> failed{0};
+  dev.launch_linear(4096, 128, [&](gpu::ThreadCtx& t) {
+    void* p = ua_.allocate(32);
+    if (p == nullptr) {
+      failed.fetch_add(1);
+      return;
+    }
+    std::memset(p, static_cast<int>(t.global_rank() & 0xff), 32);
+    t.yield();
+    auto* c = static_cast<unsigned char*>(p);
+    for (int k = 0; k < 32; ++k) {
+      if (c[k] != (t.global_rank() & 0xff)) std::abort();
+    }
+    ua_.free(p);
+  });
+  EXPECT_EQ(failed.load(), 0u);
+  EXPECT_TRUE(ua_.check_consistency());
+}
+
+TEST_F(UAllocTest, ConcurrentMixedClassesChurnGpu) {
+  gpu::Device dev(test::small_device());
+  dev.launch_linear(2048, 64, [&](gpu::ThreadCtx& t) {
+    auto& rng = t.rng();
+    void* held[3] = {};
+    std::size_t held_size[3] = {};
+    for (int round = 0; round < 6; ++round) {
+      const int slot = static_cast<int>(rng.next_below(3));
+      if (held[slot] != nullptr) {
+        // Verify canary before freeing.
+        auto* c = static_cast<unsigned char*>(held[slot]);
+        if (c[0] != 0xEE || c[held_size[slot] - 1] != 0xEF) std::abort();
+        ua_.free(held[slot]);
+        held[slot] = nullptr;
+      }
+      const std::size_t size = std::size_t{8} << rng.next_below(8);
+      void* p = ua_.allocate(size);
+      if (p != nullptr) {
+        auto* c = static_cast<unsigned char*>(p);
+        c[0] = 0xEE;
+        c[size - 1] = 0xEF;
+        held[slot] = p;
+        held_size[slot] = size;
+      }
+      t.yield();
+    }
+    for (auto& p : held) {
+      if (p != nullptr) ua_.free(p);
+    }
+  });
+  EXPECT_TRUE(ua_.check_consistency());
+  EXPECT_TRUE(buddy_.check_consistency());
+}
+
+TEST_F(UAllocTest, CrossArenaFree) {
+  // Allocate from arena 0's SM, free from a thread on the other SM: the
+  // free must route to the owning arena via the chunk header.
+  gpu::Device dev(test::small_device(2, 256, 1));
+  std::atomic<void*> handoff{nullptr};
+  std::atomic<int> phase{0};
+  dev.launch(gpu::Dim3{2}, gpu::Dim3{1}, [&](gpu::ThreadCtx& t) {
+    if (t.block_rank() == 0) {
+      handoff.store(ua_.allocate(64), std::memory_order_release);
+      phase.store(1, std::memory_order_release);
+    } else {
+      while (phase.load(std::memory_order_acquire) == 0) t.yield();
+      void* p = handoff.load(std::memory_order_acquire);
+      ASSERT_NE(p, nullptr);
+      ua_.free(p);
+    }
+  });
+  EXPECT_TRUE(ua_.check_consistency());
+}
+
+TEST_F(UAllocTest, CoalescedWarpAllocationsAreDistinct) {
+  // Full warps allocating the same class exercise the coalesced path:
+  // one semaphore wait / one grown bin per group. Every member must get
+  // a distinct block, and all blocks free cleanly.
+  gpu::Device dev(test::small_device());
+  constexpr std::uint64_t kThreads = 2048;
+  std::vector<std::atomic<void*>> slots(kThreads);
+  dev.launch_linear(kThreads, 128, [&](gpu::ThreadCtx& t) {
+    void* p = ua_.allocate(64);
+    ASSERT_NE(p, nullptr);
+    std::memset(p, static_cast<int>(t.global_rank() & 0xff), 64);
+    slots[t.global_rank()].store(p);
+    t.yield();
+    auto* c = static_cast<unsigned char*>(p);
+    for (int i = 0; i < 64; ++i) {
+      if (c[i] != (t.global_rank() & 0xff)) std::abort();
+    }
+  });
+  std::set<void*> unique;
+  for (auto& s : slots) {
+    void* p = s.load();
+    ASSERT_NE(p, nullptr);
+    EXPECT_TRUE(unique.insert(p).second) << "duplicate block";
+  }
+  for (auto& s : slots) ua_.free(s.load());
+  EXPECT_TRUE(ua_.check_consistency());
+}
+
+TEST_F(UAllocTest, CoalescingTogglesOff) {
+  ua_.set_coalescing(false);
+  gpu::Device dev(test::small_device());
+  std::atomic<std::uint64_t> failed{0};
+  dev.launch_linear(1024, 64, [&](gpu::ThreadCtx& t) {
+    void* p = ua_.allocate(32);
+    if (p == nullptr) {
+      failed.fetch_add(1);
+      return;
+    }
+    t.yield();
+    ua_.free(p);
+  });
+  EXPECT_EQ(failed.load(), 0u);
+  EXPECT_TRUE(ua_.check_consistency());
+  ua_.set_coalescing(true);
+}
+
+TEST_F(UAllocTest, CoalescedMixedWithIndividual) {
+  // Half the lanes allocate a coalescable class (64 B), half a class too
+  // small to coalesce (1 KB, capacity 3): groups and singletons interleave.
+  gpu::Device dev(test::small_device());
+  std::atomic<std::uint64_t> failed{0};
+  dev.launch_linear(2048, 128, [&](gpu::ThreadCtx& t) {
+    const std::size_t size = (t.lane_id() % 2 == 0) ? 64 : 1024;
+    void* p = ua_.allocate(size);
+    if (p == nullptr) {
+      failed.fetch_add(1);
+      return;
+    }
+    std::memset(p, 0x5E, size);
+    t.yield();
+    ua_.free(p);
+  });
+  EXPECT_EQ(failed.load(), 0u);
+  EXPECT_TRUE(ua_.check_consistency());
+}
+
+TEST_F(UAllocTest, HostThreadsFallbackPath) {
+  // UAlloc works from plain OS threads too (arena chosen by thread hash).
+  test::run_os_threads(4, [&](unsigned tid) {
+    util::Xorshift rng(tid);
+    std::vector<void*> held;
+    for (int i = 0; i < 500; ++i) {
+      if (!held.empty() && (rng.next() & 1)) {
+        ua_.free(held.back());
+        held.pop_back();
+      } else {
+        const std::size_t size = std::size_t{8} << rng.next_below(8);
+        if (void* p = ua_.allocate(size)) held.push_back(p);
+      }
+    }
+    for (void* p : held) ua_.free(p);
+  });
+  EXPECT_TRUE(ua_.check_consistency());
+}
+
+}  // namespace
+}  // namespace toma::alloc

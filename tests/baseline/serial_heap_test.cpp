@@ -1,0 +1,118 @@
+#include "baseline/serial_heap.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstring>
+#include <set>
+#include <vector>
+
+#include "gpusim/gpusim.hpp"
+#include "support/test_support.hpp"
+#include "util/prng.hpp"
+
+namespace toma::baseline {
+namespace {
+
+class SerialHeapTest : public ::testing::Test {
+ protected:
+  static constexpr std::size_t kPool = 4 * 1024 * 1024;
+  SerialHeapTest() : pool_(kPool, 4096), heap_(pool_.get(), kPool) {}
+  test::AlignedPool pool_;
+  SerialHeapAllocator heap_;
+};
+
+TEST_F(SerialHeapTest, SimpleRoundTrip) {
+  void* p = heap_.malloc(100);
+  ASSERT_NE(p, nullptr);
+  std::memset(p, 0xAB, 100);
+  heap_.free(p);
+  EXPECT_TRUE(heap_.check_consistency());
+}
+
+TEST_F(SerialHeapTest, ZeroAndNull) {
+  EXPECT_EQ(heap_.malloc(0), nullptr);
+  heap_.free(nullptr);
+  EXPECT_TRUE(heap_.check_consistency());
+}
+
+TEST_F(SerialHeapTest, CoalescingRestoresPool) {
+  const std::size_t before = heap_.largest_free_block();
+  std::vector<void*> ptrs;
+  for (int i = 0; i < 100; ++i) {
+    void* p = heap_.malloc(1000);
+    ASSERT_NE(p, nullptr);
+    ptrs.push_back(p);
+  }
+  // Free in interleaved order to exercise both-neighbour coalescing.
+  for (std::size_t i = 0; i < ptrs.size(); i += 2) heap_.free(ptrs[i]);
+  for (std::size_t i = 1; i < ptrs.size(); i += 2) heap_.free(ptrs[i]);
+  EXPECT_EQ(heap_.largest_free_block(), before);
+  EXPECT_TRUE(heap_.check_consistency());
+}
+
+TEST_F(SerialHeapTest, DistinctNonOverlapping) {
+  std::vector<void*> ptrs;
+  util::Xorshift rng(3);
+  for (int i = 0; i < 200; ++i) {
+    const std::size_t size = 16 + rng.next_below(512);
+    void* p = heap_.malloc(size);
+    ASSERT_NE(p, nullptr);
+    std::memset(p, i & 0xff, size);
+    ptrs.push_back(p);
+  }
+  std::set<void*> unique(ptrs.begin(), ptrs.end());
+  EXPECT_EQ(unique.size(), ptrs.size());
+  for (void* p : ptrs) heap_.free(p);
+  EXPECT_TRUE(heap_.check_consistency());
+}
+
+TEST_F(SerialHeapTest, ExhaustionFailsCleanly) {
+  std::vector<void*> ptrs;
+  for (;;) {
+    void* p = heap_.malloc(64 * 1024);
+    if (p == nullptr) break;
+    ptrs.push_back(p);
+  }
+  EXPECT_GT(heap_.stats().failed_allocs, 0u);
+  for (void* p : ptrs) heap_.free(p);
+  EXPECT_TRUE(heap_.check_consistency());
+}
+
+TEST_F(SerialHeapTest, ChurnKeepsIntegrity) {
+  util::Xorshift rng(11);
+  std::vector<std::pair<void*, std::size_t>> live;
+  for (int iter = 0; iter < 5000; ++iter) {
+    if (!live.empty() && (rng.next() & 1)) {
+      const std::size_t k = rng.next_below(live.size());
+      heap_.free(live[k].first);
+      live[k] = live.back();
+      live.pop_back();
+    } else {
+      const std::size_t size = 8 + rng.next_below(4096);
+      if (void* p = heap_.malloc(size)) live.emplace_back(p, size);
+    }
+  }
+  EXPECT_TRUE(heap_.check_consistency());
+  for (auto& [p, s] : live) heap_.free(p);
+  EXPECT_TRUE(heap_.check_consistency());
+}
+
+TEST_F(SerialHeapTest, ConcurrentGpuThreads) {
+  gpu::Device dev(test::small_device());
+  std::atomic<std::uint64_t> ok{0};
+  dev.launch_linear(1024, 64, [&](gpu::ThreadCtx& t) {
+    void* p = heap_.malloc(64);
+    if (p != nullptr) {
+      std::memset(p, 1, 64);
+      t.yield();
+      heap_.free(p);
+      ok.fetch_add(1);
+    }
+  });
+  EXPECT_EQ(ok.load(), 1024u);
+  EXPECT_TRUE(heap_.check_consistency());
+}
+
+}  // namespace
+}  // namespace toma::baseline

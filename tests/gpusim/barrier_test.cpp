@@ -1,0 +1,96 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <vector>
+
+#include "gpusim/gpusim.hpp"
+#include "support/test_support.hpp"
+
+namespace toma::gpu {
+namespace {
+
+TEST(BlockBarrier, PhasesAreOrdered) {
+  Device dev(test::small_device());
+  std::atomic<int> bad{0};
+  dev.launch(Dim3{4}, Dim3{96}, [&](ThreadCtx& t) {
+    auto* phase = static_cast<std::atomic<std::uint32_t>*>(t.shared_mem());
+    // Phase 0: everyone increments counter 0; after the barrier, every
+    // thread must observe the full count — the defining property.
+    phase[0].fetch_add(1);
+    t.sync_block();
+    if (phase[0].load() != 96) bad.fetch_add(1);
+    phase[1].fetch_add(1);
+    t.sync_block();
+    if (phase[1].load() != 96) bad.fetch_add(1);
+  });
+  EXPECT_EQ(bad.load(), 0);
+}
+
+TEST(BlockBarrier, ManyIterations) {
+  Device dev(test::small_device());
+  std::atomic<int> bad{0};
+  dev.launch(Dim3{2}, Dim3{64}, [&](ThreadCtx& t) {
+    auto* counter = static_cast<std::atomic<std::uint32_t>*>(t.shared_mem());
+    for (int round = 1; round <= 50; ++round) {
+      counter->fetch_add(1);
+      t.sync_block();
+      if (counter->load() != static_cast<std::uint32_t>(round) * 64)
+        bad.fetch_add(1);
+      t.sync_block();
+    }
+  });
+  EXPECT_EQ(bad.load(), 0);
+}
+
+TEST(BlockBarrier, ExactlyOneReleaserPerGeneration) {
+  Device dev(test::small_device());
+  std::atomic<std::uint32_t> releasers{0};
+  dev.launch(Dim3{1}, Dim3{128}, [&](ThreadCtx& t) {
+    for (int round = 0; round < 10; ++round) {
+      if (t.block().barrier.arrive_and_wait(t)) {
+        releasers.fetch_add(1);
+      }
+    }
+  });
+  EXPECT_EQ(releasers.load(), 10u);
+}
+
+TEST(BlockBarrier, ToleratesEarlyThreadExit) {
+  // CUDA-on-Volta semantics: threads that returned do not participate.
+  Device dev(test::small_device());
+  std::atomic<std::uint32_t> past_barrier{0};
+  dev.launch(Dim3{4}, Dim3{100}, [&](ThreadCtx& t) {
+    if (t.thread_rank() >= 25) return;  // 75 of 100 exit immediately
+    t.sync_block();
+    past_barrier.fetch_add(1);
+  });
+  EXPECT_EQ(past_barrier.load(), 4u * 25);
+}
+
+TEST(BlockBarrier, ExitAfterSomeArrivalsReleasesWaiters) {
+  // Half the threads barrier once and exit; the others barrier twice.
+  // The second barrier must release with only the survivors.
+  Device dev(test::small_device());
+  std::atomic<std::uint32_t> finished{0};
+  dev.launch(Dim3{2}, Dim3{64}, [&](ThreadCtx& t) {
+    t.sync_block();
+    if (t.thread_rank() % 2 == 0) return;
+    t.sync_block();  // only 32 arrive; 32 exited after the first barrier
+    finished.fetch_add(1);
+  });
+  EXPECT_EQ(finished.load(), 64u);
+}
+
+TEST(BlockBarrier, SingleThreadBlockTrivial) {
+  Device dev(test::small_device());
+  std::atomic<int> ran{0};
+  dev.launch(Dim3{8}, Dim3{1}, [&](ThreadCtx& t) {
+    t.sync_block();
+    t.sync_block();
+    ran.fetch_add(1);
+  });
+  EXPECT_EQ(ran.load(), 8);
+}
+
+}  // namespace
+}  // namespace toma::gpu

@@ -1,0 +1,37 @@
+#include "support/test_support.hpp"
+
+#include <cstdlib>
+
+#include "util/assert.hpp"
+
+namespace toma::test {
+
+gpu::DeviceConfig small_device(std::uint32_t num_sms,
+                               std::uint32_t threads_per_sm,
+                               std::uint32_t workers) {
+  gpu::DeviceConfig cfg;
+  cfg.num_sms = num_sms;
+  cfg.max_threads_per_sm = threads_per_sm;
+  cfg.num_workers = workers;
+  cfg.stack_bytes = 32 * 1024;
+  return cfg;
+}
+
+void run_os_threads(unsigned nthreads,
+                    const std::function<void(unsigned)>& fn) {
+  std::vector<std::thread> ts;
+  ts.reserve(nthreads);
+  for (unsigned i = 0; i < nthreads; ++i) ts.emplace_back(fn, i);
+  for (auto& t : ts) t.join();
+}
+
+AlignedPool::AlignedPool(std::size_t bytes, std::size_t alignment)
+    : bytes_(bytes) {
+  if (alignment == 0) alignment = bytes;
+  p_ = std::aligned_alloc(alignment, bytes);
+  TOMA_ASSERT(p_ != nullptr);
+}
+
+AlignedPool::~AlignedPool() { std::free(p_); }
+
+}  // namespace toma::test

@@ -1,0 +1,43 @@
+// Shared helpers for the toma test suite.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "gpusim/gpusim.hpp"
+
+namespace toma::test {
+
+/// A small simulated device suitable for unit tests (fast to construct,
+/// enough concurrency to expose races). One OS worker keeps runs
+/// deterministic-ish; pass workers > 1 to add true parallelism.
+gpu::DeviceConfig small_device(std::uint32_t num_sms = 2,
+                               std::uint32_t threads_per_sm = 512,
+                               std::uint32_t workers = 1);
+
+/// Run `fn` concurrently on `nthreads` plain OS threads (for testing the
+/// primitives' host-side fallback paths).
+void run_os_threads(unsigned nthreads,
+                    const std::function<void(unsigned)>& fn);
+
+/// Aligned scratch pool for allocator tests (freed automatically).
+class AlignedPool {
+ public:
+  explicit AlignedPool(std::size_t bytes, std::size_t alignment = 0);
+  ~AlignedPool();
+  AlignedPool(const AlignedPool&) = delete;
+  AlignedPool& operator=(const AlignedPool&) = delete;
+
+  void* get() const { return p_; }
+  std::size_t size() const { return bytes_; }
+
+ private:
+  void* p_;
+  std::size_t bytes_;
+};
+
+}  // namespace toma::test

@@ -1,0 +1,78 @@
+#include "sync/spin_mutex.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+
+#include "gpusim/gpusim.hpp"
+#include "support/test_support.hpp"
+
+namespace toma::sync {
+namespace {
+
+TEST(SpinMutex, LockUnlock) {
+  SpinMutex m;
+  m.lock();
+  EXPECT_FALSE(m.try_lock());
+  m.unlock();
+  EXPECT_TRUE(m.try_lock());
+  m.unlock();
+}
+
+TEST(SpinMutex, MutualExclusionOsThreads) {
+  SpinMutex m;
+  long long counter = 0;  // deliberately non-atomic
+  test::run_os_threads(4, [&](unsigned) {
+    for (int i = 0; i < 20000; ++i) {
+      LockGuard<SpinMutex> g(m);
+      ++counter;
+    }
+  });
+  EXPECT_EQ(counter, 4 * 20000);
+}
+
+TEST(SpinMutex, MutualExclusionGpuThreads) {
+  gpu::Device dev(test::small_device());
+  SpinMutex m;
+  long long counter = 0;
+  std::atomic<int> max_inside{0};
+  std::atomic<int> inside{0};
+  dev.launch(gpu::Dim3{8}, gpu::Dim3{64}, [&](gpu::ThreadCtx& t) {
+    for (int i = 0; i < 5; ++i) {
+      m.lock();
+      const int now = inside.fetch_add(1) + 1;
+      int cur = max_inside.load();
+      while (now > cur && !max_inside.compare_exchange_weak(cur, now)) {
+      }
+      ++counter;
+      t.yield();  // hold the lock across a scheduling point
+      inside.fetch_sub(1);
+      m.unlock();
+    }
+  });
+  EXPECT_EQ(counter, 512 * 5);
+  EXPECT_EQ(max_inside.load(), 1);
+}
+
+TEST(SpinMutex, TryLockContention) {
+  gpu::Device dev(test::small_device());
+  SpinMutex m;
+  std::atomic<int> acquisitions{0};
+  dev.launch(gpu::Dim3{4}, gpu::Dim3{32}, [&](gpu::ThreadCtx& t) {
+    for (int i = 0; i < 10; ++i) {
+      if (m.try_lock()) {
+        acquisitions.fetch_add(1);
+        t.yield();
+        m.unlock();
+      } else {
+        t.yield();
+      }
+    }
+  });
+  EXPECT_GT(acquisitions.load(), 0);
+  EXPECT_TRUE(m.try_lock());  // released at the end
+  m.unlock();
+}
+
+}  // namespace
+}  // namespace toma::sync

@@ -1,0 +1,115 @@
+#include "util/atomic_bitmap.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <set>
+#include <vector>
+
+#include "support/test_support.hpp"
+
+namespace toma::util {
+namespace {
+
+class BitmapTest : public ::testing::TestWithParam<std::uint32_t> {
+ protected:
+  void SetUp() override {
+    nbits_ = GetParam();
+    words_.assign(AtomicBitmapRef::words_for(nbits_), 0);
+    map().reset();
+  }
+  AtomicBitmapRef map() { return AtomicBitmapRef(words_.data(), nbits_); }
+  std::uint32_t nbits_;
+  std::vector<std::uint64_t> words_;
+};
+
+TEST_P(BitmapTest, ResetClearsAll) {
+  EXPECT_EQ(map().count(), 0u);
+  for (std::uint32_t i = 0; i < nbits_; ++i) EXPECT_FALSE(map().test(i));
+}
+
+TEST_P(BitmapTest, SetTestClear) {
+  auto m = map();
+  EXPECT_TRUE(m.try_set(0));
+  EXPECT_FALSE(m.try_set(0));  // already set
+  EXPECT_TRUE(m.test(0));
+  EXPECT_EQ(m.count(), 1u);
+  EXPECT_TRUE(m.try_clear(0));
+  EXPECT_FALSE(m.try_clear(0));
+  EXPECT_EQ(m.count(), 0u);
+}
+
+TEST_P(BitmapTest, ClaimAllBitsExactlyOnce) {
+  auto m = map();
+  std::set<std::uint32_t> claimed;
+  for (std::uint32_t i = 0; i < nbits_; ++i) {
+    const std::uint32_t idx = m.claim_clear_bit(/*seed=*/i * 7919);
+    ASSERT_NE(idx, AtomicBitmapRef::kNone);
+    ASSERT_LT(idx, nbits_);
+    EXPECT_TRUE(claimed.insert(idx).second) << "bit claimed twice";
+  }
+  EXPECT_EQ(m.claim_clear_bit(1), AtomicBitmapRef::kNone);  // full
+  EXPECT_EQ(m.count(), nbits_);
+}
+
+TEST_P(BitmapTest, ScatterSpreadsClaims) {
+  if (nbits_ < 128) GTEST_SKIP();
+  auto m = map();
+  // First claims with different seeds should not all pile into word 0.
+  std::set<std::uint32_t> words_hit;
+  for (std::uint32_t s = 0; s < 16; ++s) {
+    const std::uint32_t idx = m.claim_clear_bit(hash64(s));
+    ASSERT_NE(idx, AtomicBitmapRef::kNone);
+    words_hit.insert(idx / 64);
+  }
+  EXPECT_GT(words_hit.size(), 1u);
+}
+
+TEST_P(BitmapTest, OutOfRangeBitsNeverClaimable) {
+  auto m = map();
+  for (std::uint32_t i = 0; i < nbits_; ++i) {
+    ASSERT_NE(m.claim_clear_bit(i), AtomicBitmapRef::kNone);
+  }
+  // All valid bits set; padding bits in the last word must stay set too
+  // (reset() pre-sets them) so count never exceeds nbits.
+  EXPECT_EQ(m.count(), nbits_);
+  EXPECT_EQ(m.claim_clear_bit(0), AtomicBitmapRef::kNone);
+}
+
+TEST_P(BitmapTest, ConcurrentClaimsAreUnique) {
+  auto m = map();
+  const unsigned nthreads = 4;
+  std::vector<std::vector<std::uint32_t>> got(nthreads);
+  test::run_os_threads(nthreads, [&](unsigned tid) {
+    for (;;) {
+      const std::uint32_t idx = m.claim_clear_bit(hash64(tid * 1031 + 7));
+      if (idx == AtomicBitmapRef::kNone) break;
+      got[tid].push_back(idx);
+    }
+  });
+  std::set<std::uint32_t> all;
+  std::size_t total = 0;
+  for (const auto& v : got) {
+    total += v.size();
+    for (std::uint32_t idx : v) {
+      EXPECT_TRUE(all.insert(idx).second) << "bit " << idx << " double claimed";
+    }
+  }
+  EXPECT_EQ(total, nbits_);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, BitmapTest,
+                         ::testing::Values(1, 3, 62, 63, 64, 65, 127, 128,
+                                           200, 512));
+
+TEST(BitmapRelease, ReleaseMakesBitClaimable) {
+  std::vector<std::uint64_t> words(1, 0);
+  AtomicBitmapRef m(words.data(), 8);
+  m.reset();
+  for (int i = 0; i < 8; ++i) ASSERT_NE(m.claim_clear_bit(i), AtomicBitmapRef::kNone);
+  m.release_bit(3);
+  EXPECT_EQ(m.claim_clear_bit(99), 3u);
+}
+
+}  // namespace
+}  // namespace toma::util

@@ -1,0 +1,83 @@
+#include "util/prng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+namespace toma::util {
+namespace {
+
+TEST(Prng, Deterministic) {
+  Xorshift a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Prng, SeedsDiverge) {
+  Xorshift a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.next() == b.next()) ++equal;
+  }
+  EXPECT_LT(equal, 3);
+}
+
+TEST(Prng, ZeroSeedIsNotAbsorbing) {
+  Xorshift r(0);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 64; ++i) seen.insert(r.next());
+  EXPECT_GT(seen.size(), 60u);
+}
+
+TEST(Prng, NextBelowInRange) {
+  Xorshift r(7);
+  for (std::uint64_t bound :
+       {1ull, 2ull, 3ull, 10ull, 1000ull, 1ull << 31}) {
+    for (int i = 0; i < 200; ++i) {
+      EXPECT_LT(r.next_below(bound), bound);
+    }
+  }
+}
+
+TEST(Prng, NextBelowCoversRange) {
+  Xorshift r(11);
+  std::vector<int> hits(8, 0);
+  for (int i = 0; i < 8000; ++i) hits[r.next_below(8)]++;
+  for (int h : hits) {
+    EXPECT_GT(h, 700);  // ~1000 expected; catch gross skew only
+    EXPECT_LT(h, 1300);
+  }
+}
+
+TEST(Prng, DoubleInUnitInterval) {
+  Xorshift r(3);
+  double sum = 0;
+  for (int i = 0; i < 10000; ++i) {
+    const double d = r.next_double();
+    ASSERT_GE(d, 0.0);
+    ASSERT_LT(d, 1.0);
+    sum += d;
+  }
+  EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(Prng, Hash64AvalanchesLowBits) {
+  // Consecutive inputs should produce well-spread low bits (the property
+  // the scattered bitmap/tree searches rely on).
+  std::vector<int> buckets(16, 0);
+  for (std::uint64_t i = 0; i < 1600; ++i) buckets[hash64(i) & 15]++;
+  for (int b : buckets) {
+    EXPECT_GT(b, 50);
+    EXPECT_LT(b, 150);
+  }
+}
+
+TEST(Prng, SplitmixDistinct) {
+  std::uint64_t s = 0;
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(splitmix64(s));
+  EXPECT_EQ(seen.size(), 1000u);
+}
+
+}  // namespace
+}  // namespace toma::util
