@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "gpusim/gpusim.hpp"
+#include "obs/telemetry.hpp"
 #include "util/stats.hpp"
 #include "util/table.hpp"
 
@@ -29,6 +30,9 @@ struct Options {
   bool quick = false;
   bool full = false;
   std::string csv_path;
+  std::string trace_path;
+  bool metrics = false;
+  std::string metrics_path;
   std::vector<std::uint32_t> block_sizes = {64, 256, 1024};
   std::uint32_t num_sms = 8;
   std::uint32_t threads_per_sm = 2048;
@@ -44,6 +48,13 @@ struct Options {
         o.full = true;
       } else if (std::strncmp(a, "--csv=", 6) == 0) {
         o.csv_path = a + 6;
+      } else if (std::strncmp(a, "--trace=", 8) == 0) {
+        o.trace_path = a + 8;
+      } else if (std::strcmp(a, "--metrics") == 0) {
+        o.metrics = true;
+      } else if (std::strncmp(a, "--metrics=", 10) == 0) {
+        o.metrics = true;
+        o.metrics_path = a + 10;
       } else if (std::strncmp(a, "--blocks=", 9) == 0) {
         o.block_sizes = {static_cast<std::uint32_t>(std::atoi(a + 9))};
       } else if (std::strncmp(a, "--sms=", 6) == 0) {
@@ -52,12 +63,21 @@ struct Options {
         o.workers = static_cast<std::uint32_t>(std::atoi(a + 10));
       } else {
         std::fprintf(stderr,
-                     "usage: %s [--quick|--full] [--csv=PATH] [--blocks=N] "
+                     "usage: %s [--quick|--full] [--csv=PATH] "
+                     "[--trace=PATH] [--metrics[=PATH]] [--blocks=N] "
                      "[--sms=N] [--workers=N]\n",
                      argv[0]);
         std::exit(2);
       }
     }
+#if !TOMA_TELEMETRY
+    if (!o.trace_path.empty() || o.metrics) {
+      std::fprintf(stderr,
+                   "note: built with -DTOMA_TELEMETRY=OFF; --trace/--metrics "
+                   "output will be empty\n");
+    }
+#endif
+    if (!o.trace_path.empty()) obs::enable_tracing();
     return o;
   }
 
@@ -101,6 +121,37 @@ double mean_time_over_blocks(gpu::Device& dev, const Options& opt,
   return s.mean();
 }
 
+/// Telemetry epilogue: dump the Chrome trace and/or the metrics snapshot
+/// requested on the command line. Works (producing empty output) even when
+/// the build compiled instrumentation out.
+inline void finish_telemetry(const Options& opt) {
+  if (!opt.trace_path.empty()) {
+    obs::disable_tracing();
+    if (obs::dump_chrome_trace(opt.trace_path.c_str())) {
+      std::printf("trace written to %s (%llu events, %llu dropped)\n",
+                  opt.trace_path.c_str(),
+                  static_cast<unsigned long long>(obs::trace_records().size()),
+                  static_cast<unsigned long long>(obs::trace_dropped()));
+    } else {
+      std::fprintf(stderr, "failed to write %s\n", opt.trace_path.c_str());
+    }
+  }
+  if (opt.metrics) {
+    const obs::Snapshot snap = obs::registry().snapshot();
+    if (!opt.metrics_path.empty()) {
+      if (snap.write_json(opt.metrics_path.c_str())) {
+        std::printf("metrics written to %s\n", opt.metrics_path.c_str());
+      } else {
+        std::fprintf(stderr, "failed to write %s\n",
+                     opt.metrics_path.c_str());
+      }
+    } else {
+      std::fputs("\n-- telemetry snapshot --\n", stdout);
+      std::fputs(snap.to_text().c_str(), stdout);
+    }
+  }
+}
+
 inline void finish_table(const Options& opt, util::Table& table) {
   table.print();
   if (!opt.csv_path.empty()) {
@@ -110,6 +161,7 @@ inline void finish_table(const Options& opt, util::Table& table) {
       std::fprintf(stderr, "failed to write %s\n", opt.csv_path.c_str());
     }
   }
+  finish_telemetry(opt);
 }
 
 }  // namespace toma::bench

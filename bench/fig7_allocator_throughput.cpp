@@ -101,7 +101,8 @@ int main_impl(int argc, char** argv) {
       "scatter = ScatterAllocLite research comparator, in-range sizes)");
   table.set_header({"size", "threads", "cuda-like (ops/s)", "cuda fail%",
                     "scatter (ops/s)", "scatter fail%", "ours (ops/s)",
-                    "ours fail%", "ours/cuda"});
+                    "ours fail%", "ours/cuda", "tb grows", "tb retries",
+                    "ua binmiss"});
 
   for (const SizeCase& c : build_cases(opt.full, opt.quick)) {
     // --- CUDA-toolkit-allocator stand-in --------------------------------
@@ -136,11 +137,16 @@ int main_impl(int argc, char** argv) {
     }
     // --- our allocator ---------------------------------------------------
     Result ours;
+    alloc::GpuAllocatorStats gstats;
     {
       auto ga = std::make_unique<alloc::GpuAllocator>(c.pool_bytes,
                                                       dev.num_sms());
       ours = run_case(dev, opt, c,
                       [&](std::size_t s) { return ga->malloc(s); });
+      // Per-case counter deltas (the allocator is fresh, so absolute
+      // values ARE the deltas): buddy grow/split calls, scattered-descent
+      // retries, and size-class bin misses (each miss creates a bin).
+      gstats = ga->stats();
     }
 
     const double rb = static_cast<double>(base.attempts) / base.secs;
@@ -163,7 +169,10 @@ int main_impl(int argc, char** argv) {
                    scatter_ran ? util::eng_format(rs) : "-",
                    scatter_ran ? std::to_string(fs).substr(0, 5) : "-",
                    util::eng_format(ro), std::to_string(fo).substr(0, 5),
-                   std::to_string(ro / rb).substr(0, 6)});
+                   std::to_string(ro / rb).substr(0, 6),
+                   std::to_string(gstats.buddy.splits),
+                   std::to_string(gstats.buddy.descent_retries),
+                   std::to_string(gstats.ualloc.bins_created)});
     std::printf("  size=%zu threads=%" PRIu64
                 " cuda=%s/s(%0.1f%%) scatter=%s/s(%0.1f%%) "
                 "ours=%s/s(%0.1f%%) ours/cuda=x%.2f\n",

@@ -5,10 +5,24 @@
 #include <algorithm>
 #include <cstdint>
 
+#include "obs/telemetry.hpp"
 #include "util/assert.hpp"
 #include "util/bitops.hpp"
 
 namespace toma::alloc {
+
+namespace {
+
+// Histogram-vector index for a rounded request size: log2(size) - log2(8),
+// so 8 B -> 0, 16 B -> 1, ..., 256 KB -> 15; larger buddy routes clamp.
+constexpr std::uint32_t kSizeClassBuckets = 16;
+
+std::uint32_t size_class_index(std::size_t rounded) {
+  const std::uint32_t lg = util::log2_floor(rounded);
+  return lg < 3 ? 0 : lg - 3;
+}
+
+}  // namespace
 
 GpuAllocator::GpuAllocator(std::size_t pool_bytes, std::uint32_t num_arenas)
     : pool_bytes_(pool_bytes) {
@@ -41,6 +55,8 @@ std::size_t GpuAllocator::effective_size(std::size_t size) {
 void* GpuAllocator::malloc(std::size_t size) {
   if (size == 0) return nullptr;
   st_mallocs_.fetch_add(1, std::memory_order_relaxed);
+  TOMA_CTR_INC("alloc.malloc");
+  [[maybe_unused]] const std::uint64_t t0 = TOMA_NOW_NS();
   const std::size_t rounded =
       util::round_up_pow2(size < kMinAlloc ? kMinAlloc : size);
   void* p;
@@ -49,22 +65,40 @@ void* GpuAllocator::malloc(std::size_t size) {
   } else {
     p = buddy_->allocate_bytes(rounded);
   }
-  if (p == nullptr) st_failed_.fetch_add(1, std::memory_order_relaxed);
+  TOMA_HISTV("alloc.malloc_ns", kSizeClassBuckets, size_class_index(rounded),
+             TOMA_NOW_NS() - t0);
+  if (p == nullptr) {
+    st_failed_.fetch_add(1, std::memory_order_relaxed);
+    TOMA_CTR_INC("alloc.failed");
+    TOMA_TRACE("alloc.oom", size);
+  }
   return p;
 }
 
 void GpuAllocator::free(void* p) {
   if (p == nullptr) return;
   st_frees_.fetch_add(1, std::memory_order_relaxed);
+  TOMA_CTR_INC("alloc.free");
+  [[maybe_unused]] const std::uint64_t t0 = TOMA_NOW_NS();
   if (util::is_aligned(p, kPageSize)) {
     buddy_->free(p);
   } else {
     ualloc_->free(p);
   }
+  TOMA_HIST("alloc.free_ns", TOMA_NOW_NS() - t0);
 }
 
 void* GpuAllocator::calloc(std::size_t n, std::size_t size) {
-  if (n != 0 && size > SIZE_MAX / n) return nullptr;  // overflow
+  if (n != 0 && size > SIZE_MAX / n) {
+    // Overflowing requests are failed allocation attempts, not silent
+    // no-ops: count them so mallocs == frees + failed_mallocs stays an
+    // invariant across every path.
+    st_mallocs_.fetch_add(1, std::memory_order_relaxed);
+    st_failed_.fetch_add(1, std::memory_order_relaxed);
+    TOMA_CTR_INC("alloc.malloc");
+    TOMA_CTR_INC("alloc.failed");
+    return nullptr;
+  }
   const std::size_t total = n * size;
   void* p = malloc(total);
   if (p != nullptr) std::memset(p, 0, total);

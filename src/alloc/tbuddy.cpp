@@ -6,6 +6,7 @@
 #include <cstdio>
 
 #include "gpusim/this_thread.hpp"
+#include "obs/telemetry.hpp"
 #include "sync/backoff.hpp"
 #include "util/bitops.hpp"
 
@@ -73,8 +74,10 @@ void TBuddy::lock_node(std::uint32_t i) {
         b.compare_exchange_weak(cur, cur | kLockBit,
                                 std::memory_order_acquire,
                                 std::memory_order_relaxed)) {
+      TOMA_CTR_INC("tbuddy.lock_acquire");
       return;
     }
+    TOMA_CTR_INC("tbuddy.lock_contended");
     bo.pause();
   }
 }
@@ -154,6 +157,7 @@ std::uint32_t TBuddy::find_and_claim(std::uint32_t order) {
     if (h == order) {
       if (try_claim(1)) return 1;
       st_retries_.fetch_add(1, std::memory_order_relaxed);
+      TOMA_CTR_INC("tbuddy.descent_retry");
       bo.pause();
       continue;
     }
@@ -183,6 +187,7 @@ std::uint32_t TBuddy::find_and_claim(std::uint32_t order) {
       if (!descended) dead_end = true;
     }
     st_retries_.fetch_add(1, std::memory_order_relaxed);
+    TOMA_CTR_INC("tbuddy.descent_retry");
     bo.pause();
   }
 }
@@ -193,8 +198,13 @@ void* TBuddy::allocate(std::uint32_t order) {
     return nullptr;
   }
 
+  // Per-order semaphore outcome: kAcquired means a block of this order is
+  // (or will be) claimable; kMustGrow makes us the splitter one order up.
+  [[maybe_unused]] const std::uint64_t wait_t0 = TOMA_NOW_NS();
   const auto res = sems_[order]->wait(1, 2);
+  TOMA_HIST("tbuddy.sem_wait_ns", TOMA_NOW_NS() - wait_t0);
   if (res == sync::BulkSemaphore::WaitResult::kAcquired) {
+    TOMA_CTRV_INC("tbuddy.sem_acquired", 24, order);
     const std::uint32_t node = find_and_claim(order);
     st_allocs_.fetch_add(1, std::memory_order_relaxed);
     void* p = node_addr(node);
@@ -209,6 +219,8 @@ void* TBuddy::allocate(std::uint32_t order) {
 
   // kMustGrow: produce a batch of two order-n blocks by splitting an
   // order-(n+1) block; keep one, publish the other.
+  TOMA_CTRV_INC("tbuddy.sem_grow", 24, order);
+  TOMA_TRACE("tbuddy.grow", order);
   if (order == max_order_) {
     sems_[order]->signal(0, 1);  // cannot grow past the root: true OOM
     st_failed_.fetch_add(1, std::memory_order_relaxed);
@@ -258,6 +270,7 @@ void* TBuddy::allocate(std::uint32_t order) {
   if (pnode > 1) fixup_from(parent_of(pnode));
   st_splits_.fetch_add(1, std::memory_order_relaxed);
   st_allocs_.fetch_add(1, std::memory_order_relaxed);
+  TOMA_CTR_INC("tbuddy.split");
 
   void* p = node_addr(keep);
   const std::size_t page =
@@ -389,6 +402,7 @@ void TBuddy::free_block(std::uint32_t i, std::uint32_t order) {
       if (gp != 0) fixup_from(gp);
     }
     st_merges_.fetch_add(1, std::memory_order_relaxed);
+    TOMA_CTR_INC("tbuddy.merge");
     i = p;
     ++order;
   }

@@ -4,6 +4,7 @@
 #include <new>
 
 #include "gpusim/this_thread.hpp"
+#include "obs/telemetry.hpp"
 #include "sync/backoff.hpp"
 #include "util/assert.hpp"
 #include "util/bitops.hpp"
@@ -56,8 +57,11 @@ void* Arena::allocate_individual(std::uint32_t cls) {
   // (kAcquired) or we are elected to produce a fresh bin (kMustGrow).
   const auto res = cs.blocks.wait(1, cap);
   if (res == sync::BulkSemaphore::WaitResult::kAcquired) {
+    TOMA_CTR_INC("ualloc.bin_hit");
     return claim_block(cls);
   }
+  TOMA_CTR_INC("ualloc.bin_miss");
+  TOMA_TRACE("ualloc.grow_bin", cls);
   void* p = grow_bin(cls);
   if (p == nullptr) {
     cs.blocks.signal(0, cap - 1);  // growth failed; let waiters re-decide
@@ -79,11 +83,16 @@ void* Arena::allocate_coalesced(std::uint32_t cls, gpu::ThreadCtx& ctx) {
   constexpr std::uint64_t kClaim = 1;
 
   if (g.is_leader()) {
+    TOMA_CTR_INC("ualloc.coalesced_groups");
+    TOMA_CTR_ADD("ualloc.coalesced_threads", g.size());
     const auto res = cs.blocks.wait(g.size(), cap);
     if (res == sync::BulkSemaphore::WaitResult::kAcquired) {
+      TOMA_CTR_INC("ualloc.bin_hit");
       gpu::warp_broadcast(ctx, g, kClaim);
       return claim_block(cls);
     }
+    TOMA_CTR_INC("ualloc.bin_miss");
+    TOMA_TRACE("ualloc.grow_bin", cls);
     // Grow once for the whole group: one bin, blocks 0..size-1 pre-taken.
     BinHeader* bin = create_bin(cls, g.size());
     if (bin == nullptr) {
@@ -147,6 +156,7 @@ void* Arena::claim_block(std::uint32_t cls) {
       return result;
     }
     ua.st_list_retries_.fetch_add(1, std::memory_order_relaxed);
+    TOMA_CTR_INC("ualloc.list_retry");
     bo.pause();
   }
 }
@@ -202,6 +212,7 @@ BinHeader* Arena::create_bin(std::uint32_t cls, std::uint32_t pre_claimed) {
   cs.blocks.signal(bin->capacity - pre_claimed,
                    bin->capacity - pre_claimed);
   ua.st_bins_created_.fetch_add(1, std::memory_order_relaxed);
+  TOMA_CTR_INC("ualloc.bin_create");
   ua.drain_parked(bin);  // pick up frees that raced the insertion
   return bin;
 }
@@ -268,6 +279,9 @@ void* Arena::claim_bin_slot() {
   }
   bin_slots_.signal(kDataBins - 1, kDataBins - 1);
   ua.st_chunks_created_.fetch_add(1, std::memory_order_relaxed);
+  TOMA_CTR_INC("ualloc.chunk_fetch");
+  TOMA_TRACE("ualloc.chunk_fetch", ua.st_chunks_created_.load(
+                                       std::memory_order_relaxed));
   return static_cast<char*>(mem) + kHeaderBins * kBinSize;
 }
 
@@ -360,6 +374,7 @@ void UAlloc::drain_parked(BinHeader* bin) {
       bin->state.store(BinState::kListed, std::memory_order_release);
       bin->cold_lock.unlock();
       st_bin_relists_.fetch_add(1, std::memory_order_relaxed);
+      TOMA_CTR_INC("ualloc.bin_relist");
       continue;  // now drain the parked units into the semaphore
     }
 
@@ -389,6 +404,7 @@ void UAlloc::maybe_unlink_exhausted(BinHeader* bin) {
   cs.bins.writer_unlock();
   cs.listed.fetch_sub(1, std::memory_order_acq_rel);
   st_bin_unlinks_.fetch_add(1, std::memory_order_relaxed);
+  TOMA_CTR_INC("ualloc.bin_unlink");
 
   // Deferred completion: the bin may be re-linked only after every reader
   // that might still be traversing it has exited. Delegated to an
@@ -463,6 +479,7 @@ void UAlloc::finish_retire(BinHeader* bin) {
                BinState::kRetiring);
   TOMA_DASSERT(bin->parked.load(std::memory_order_relaxed) == 0);
   st_bins_retired_.fetch_add(1, std::memory_order_relaxed);
+  TOMA_CTR_INC("ualloc.bin_retire");
   release_bin_slot(bin);
 }
 
@@ -501,6 +518,9 @@ void UAlloc::maybe_retire_chunk(ChunkHeader* chunk) {
     arena->list_splice_mu_.unlock();
   }
   st_chunks_retired_.fetch_add(1, std::memory_order_relaxed);
+  TOMA_CTR_INC("ualloc.chunk_retire");
+  TOMA_TRACE("ualloc.chunk_retire",
+             st_chunks_retired_.load(std::memory_order_relaxed));
   chunk->~ChunkHeader();
   buddy_->free(chunk);
 }
@@ -597,6 +617,7 @@ void* UAlloc::block_addr(BinHeader* bin, std::uint32_t idx) const {
   if (logical < kBinDataSize) {
     return reinterpret_cast<char*>(bin) + kBinHeaderSize + logical;
   }
+  TOMA_CTR_INC("ualloc.tail_use");
   // The block lives in the bin's tail, inside header bin 0 or 1.
   char* cbase = chunk_base(bin);
   const std::uint32_t bi = bin->bin_index;

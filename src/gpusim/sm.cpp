@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "gpusim/device.hpp"
+#include "obs/telemetry.hpp"
 #include "util/assert.hpp"
 
 namespace toma::gpu {
@@ -81,6 +82,8 @@ bool Sm::admit(LaunchState& ls) {
     auto br = obtain_block_run();
     br->prepare(dev_, ls, rank, id_);
     resident_threads_ += br->nthreads;
+    TOMA_CTR_INC("gpusim.blocks_admitted");
+    TOMA_TRACE_BEGIN("block", rank);
     resident_.push_back(std::move(br));
     admitted = true;
   }
@@ -95,6 +98,7 @@ void Sm::retire(std::size_t idx, LaunchState& ls) {
   }
   resident_threads_ -= br.nthreads;
   ++blocks_run_;
+  TOMA_TRACE_END("block", br.block_rank);
   ls.blocks_done.fetch_add(1, std::memory_order_acq_rel);
 
   recycled_.push_back(std::move(resident_[idx]));
@@ -107,6 +111,9 @@ bool Sm::step(LaunchState& ls) {
   if (resident_.empty()) return false;
 
   ++rounds_;
+  // The simulated-time axis: one tick per SM scheduling round, shared by
+  // every SM (concurrent rounds interleave, like cycles across real SMs).
+  TOMA_OBS_TICK();
   // Round-robin every runnable fiber once. Iterate by index because
   // retire() compacts the vector (swap-with-last), in which case we
   // re-visit the swapped-in block on the next round.
@@ -116,8 +123,10 @@ bool Sm::step(LaunchState& ls) {
       Fiber& f = br.fibers[t];
       if (f.finished()) continue;
       detail::set_current(&br.ctxs[t]);
+      TOMA_OBS_SET_THREAD(id_, br.ctxs[t].warp_rank());
       f.resume();
       detail::set_current(nullptr);
+      TOMA_OBS_CLEAR_THREAD();
       ++fiber_resumes_;
       if (f.finished()) ++br.finished;
     }

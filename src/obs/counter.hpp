@@ -1,0 +1,80 @@
+// Cache-line-sharded monotonic counters.
+//
+// One shard per simulated SM (modulo kShards): a counter bump is a relaxed
+// fetch_add on a line only the bumping SM's worker thread normally writes,
+// so hot-path instrumentation adds no cross-SM cache traffic. Reads
+// aggregate all shards and are approximate under concurrency (like every
+// other statistics read in the allocator).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <vector>
+
+#include "obs/context.hpp"
+#include "util/assert.hpp"
+#include "util/hints.hpp"
+
+namespace toma::obs {
+
+class Counter {
+ public:
+  Counter() = default;
+  Counter(const Counter&) = delete;
+  Counter& operator=(const Counter&) = delete;
+
+  void add(std::uint64_t n) {
+    shards_[current_shard()].v.fetch_add(n, std::memory_order_relaxed);
+  }
+  void inc() { add(1); }
+
+  /// Aggregate over shards. O(kShards); intended for snapshots, not hot
+  /// paths.
+  std::uint64_t value() const {
+    std::uint64_t total = 0;
+    for (const Shard& s : shards_) {
+      total += s.v.load(std::memory_order_relaxed);
+    }
+    return total;
+  }
+
+  // --- test introspection --------------------------------------------------
+  static constexpr std::uint32_t shard_count() { return kShards; }
+  std::uint64_t shard_value(std::uint32_t i) const {
+    TOMA_DASSERT(i < kShards);
+    return shards_[i].v.load(std::memory_order_relaxed);
+  }
+
+ private:
+  struct TOMA_CACHELINE_ALIGNED Shard {
+    std::atomic<std::uint64_t> v{0};
+  };
+  Shard shards_[kShards];
+};
+
+/// A fixed-width array of counters under one name, exported as "name[i]".
+/// Used for per-order / per-size-class breakdowns where the index is only
+/// known at runtime. Out-of-range indices clamp to the last element so an
+/// unexpected order can never write out of bounds.
+class CounterVec {
+ public:
+  explicit CounterVec(std::uint32_t width) : counters_(width) {
+    TOMA_ASSERT(width > 0);
+  }
+  CounterVec(const CounterVec&) = delete;
+  CounterVec& operator=(const CounterVec&) = delete;
+
+  Counter& at(std::uint32_t i) {
+    const auto w = static_cast<std::uint32_t>(counters_.size());
+    return counters_[i < w ? i : w - 1];
+  }
+  std::uint32_t width() const {
+    return static_cast<std::uint32_t>(counters_.size());
+  }
+  const Counter& get(std::uint32_t i) const { return counters_[i]; }
+
+ private:
+  std::vector<Counter> counters_;
+};
+
+}  // namespace toma::obs

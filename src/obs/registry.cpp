@@ -1,0 +1,197 @@
+#include "obs/registry.hpp"
+
+#include <cinttypes>
+#include <cstdio>
+
+#include "util/assert.hpp"
+#include "util/stats.hpp"
+
+namespace toma::obs {
+
+namespace {
+
+std::string vec_name(const std::string& base, std::uint32_t i) {
+  char buf[16];
+  std::snprintf(buf, sizeof(buf), "[%u]", i);
+  return base + buf;
+}
+
+void json_escape_into(std::string& out, const std::string& s) {
+  for (const char c : s) {
+    if (c == '"' || c == '\\') {
+      out.push_back('\\');
+      out.push_back(c);
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      char buf[8];
+      std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+      out += buf;
+    } else {
+      out.push_back(c);
+    }
+  }
+}
+
+}  // namespace
+
+Counter& Registry::counter(const std::string& name) {
+  std::lock_guard<std::mutex> g(mu_);
+  auto& slot = counters_[name];
+  if (slot == nullptr) slot = std::make_unique<Counter>();
+  return *slot;
+}
+
+CounterVec& Registry::counter_vec(const std::string& name,
+                                  std::uint32_t width) {
+  std::lock_guard<std::mutex> g(mu_);
+  auto& slot = counter_vecs_[name];
+  if (slot == nullptr) slot = std::make_unique<CounterVec>(width);
+  TOMA_ASSERT_MSG(slot->width() == width,
+                  "counter_vec re-registered with a different width");
+  return *slot;
+}
+
+Histogram& Registry::histogram(const std::string& name) {
+  std::lock_guard<std::mutex> g(mu_);
+  auto& slot = histograms_[name];
+  if (slot == nullptr) slot = std::make_unique<Histogram>();
+  return *slot;
+}
+
+HistogramVec& Registry::histogram_vec(const std::string& name,
+                                      std::uint32_t width) {
+  std::lock_guard<std::mutex> g(mu_);
+  auto& slot = histogram_vecs_[name];
+  if (slot == nullptr) slot = std::make_unique<HistogramVec>(width);
+  TOMA_ASSERT_MSG(slot->width() == width,
+                  "histogram_vec re-registered with a different width");
+  return *slot;
+}
+
+Snapshot Registry::snapshot() const {
+  std::lock_guard<std::mutex> g(mu_);
+  Snapshot s;
+  for (const auto& [name, c] : counters_) {
+    s.counters[name] = c->value();
+  }
+  for (const auto& [name, cv] : counter_vecs_) {
+    for (std::uint32_t i = 0; i < cv->width(); ++i) {
+      s.counters[vec_name(name, i)] = cv->get(i).value();
+    }
+  }
+  for (const auto& [name, h] : histograms_) {
+    s.histograms[name] = h->snapshot();
+  }
+  for (const auto& [name, hv] : histogram_vecs_) {
+    for (std::uint32_t i = 0; i < hv->width(); ++i) {
+      s.histograms[vec_name(name, i)] = hv->get(i).snapshot();
+    }
+  }
+  return s;
+}
+
+Registry& registry() {
+  static Registry* r = new Registry();  // leaky: outlives static dtors
+  return *r;
+}
+
+// ---------------------------------------------------------------------------
+// Snapshot
+// ---------------------------------------------------------------------------
+
+Snapshot Snapshot::diff_since(const Snapshot& before) const {
+  Snapshot d;
+  for (const auto& [name, v] : counters) {
+    const auto it = before.counters.find(name);
+    const std::uint64_t prev = it == before.counters.end() ? 0 : it->second;
+    d.counters[name] = v >= prev ? v - prev : 0;
+  }
+  for (const auto& [name, h] : histograms) {
+    const auto it = before.histograms.find(name);
+    d.histograms[name] =
+        it == before.histograms.end() ? h : h.diff_since(it->second);
+  }
+  return d;
+}
+
+std::string Snapshot::to_text() const {
+  std::string out;
+  char buf[256];
+  out += "== telemetry counters ==\n";
+  for (const auto& [name, v] : counters) {
+    std::snprintf(buf, sizeof(buf), "  %-40s %12" PRIu64 "\n", name.c_str(),
+                  v);
+    out += buf;
+  }
+  out += "== telemetry histograms (ns unless noted) ==\n";
+  for (const auto& [name, h] : histograms) {
+    std::snprintf(buf, sizeof(buf),
+                  "  %-40s n=%-10" PRIu64 " mean=%-8s p50=%-8s p95=%-8s "
+                  "p99=%-8s max=%s\n",
+                  name.c_str(), h.count, util::eng_format(h.mean()).c_str(),
+                  util::eng_format(h.p50()).c_str(),
+                  util::eng_format(h.p95()).c_str(),
+                  util::eng_format(h.p99()).c_str(),
+                  util::eng_format(static_cast<double>(h.max)).c_str());
+    out += buf;
+  }
+  return out;
+}
+
+std::string Snapshot::to_json() const {
+  std::string out = "{\"counters\":{";
+  char buf[64];
+  bool first = true;
+  for (const auto& [name, v] : counters) {
+    if (!first) out += ",";
+    first = false;
+    out += "\n\"";
+    json_escape_into(out, name);
+    std::snprintf(buf, sizeof(buf), "\":%" PRIu64, v);
+    out += buf;
+  }
+  out += "\n},\"histograms\":{";
+  first = true;
+  for (const auto& [name, h] : histograms) {
+    if (!first) out += ",";
+    first = false;
+    out += "\n\"";
+    json_escape_into(out, name);
+    std::snprintf(buf, sizeof(buf), "\":{\"count\":%" PRIu64, h.count);
+    out += buf;
+    std::snprintf(buf, sizeof(buf), ",\"sum\":%" PRIu64, h.sum);
+    out += buf;
+    std::snprintf(buf, sizeof(buf), ",\"min\":%" PRIu64, h.min);
+    out += buf;
+    std::snprintf(buf, sizeof(buf), ",\"max\":%" PRIu64, h.max);
+    out += buf;
+    std::snprintf(buf, sizeof(buf), ",\"p50\":%.6g,\"p95\":%.6g,\"p99\":%.6g",
+                  h.p50(), h.p95(), h.p99());
+    out += buf;
+    // Trailing zero buckets are elided; bucket i covers [2^(i-1), 2^i).
+    std::uint32_t last = 0;
+    for (std::uint32_t b = 0; b < kHistBuckets; ++b) {
+      if (h.buckets[b] != 0) last = b + 1;
+    }
+    out += ",\"buckets\":[";
+    for (std::uint32_t b = 0; b < last; ++b) {
+      std::snprintf(buf, sizeof(buf), "%s%" PRIu64, b == 0 ? "" : ",",
+                    h.buckets[b]);
+      out += buf;
+    }
+    out += "]}";
+  }
+  out += "\n}}\n";
+  return out;
+}
+
+bool Snapshot::write_json(const std::string& path) const {
+  const std::string json = to_json();
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+  const std::size_t written = std::fwrite(json.data(), 1, json.size(), f);
+  const bool all = written == json.size();
+  const bool closed = std::fclose(f) == 0;
+  return all && closed;
+}
+
+}  // namespace toma::obs

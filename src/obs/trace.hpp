@@ -1,0 +1,75 @@
+// Per-SM trace rings with Chrome trace-event export.
+//
+// Tracing is a runtime opt-in (enable_tracing) on top of the compile-time
+// telemetry gate: when disabled, TOMA_TRACE costs one relaxed bool load.
+// When enabled, each record is pushed into the ring of the calling SM
+// (hashed host threads use rings past kShards), overwriting the oldest
+// record on wrap — a bounded-memory flight recorder, like real GPU
+// profilers' HW trace buffers.
+//
+// dump_chrome_trace() emits the Trace Event Format JSON that Perfetto and
+// chrome://tracing load directly: instants as "i" events and begin/end
+// pairs as nestable async "b"/"e" events keyed by id (async, because
+// overlapping block lifetimes on one SM are not stack-nested).
+//
+// Record names must be string literals (the pointer is stored verbatim).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "obs/context.hpp"
+
+namespace toma::obs {
+
+enum class TracePhase : std::uint8_t { kInstant = 0, kBegin = 1, kEnd = 2 };
+
+struct TraceRecord {
+  std::uint64_t tick;
+  std::uint64_t arg;     // payload for instants; pairing id for begin/end
+  const char* name;      // static string literal
+  std::uint32_t sm;      // >= kShards: host thread (sm - kShards = shard)
+  std::uint32_t warp;
+  TracePhase phase;
+};
+
+namespace detail {
+inline std::atomic<bool> g_trace_on{false};
+}
+
+inline bool trace_enabled() {
+  return detail::g_trace_on.load(std::memory_order_relaxed);
+}
+
+/// Allocate the rings (one per SM shard plus one per host shard) and start
+/// recording. `capacity_per_ring` is rounded up to a power of two.
+void enable_tracing(std::size_t capacity_per_ring = std::size_t{1} << 15);
+
+/// Stop recording. Records already captured remain dumpable.
+void disable_tracing();
+
+/// Discard all captured records (rings stay allocated if enabled).
+void reset_trace();
+
+/// Total records overwritten by ring wraparound since enable/reset.
+std::uint64_t trace_dropped();
+
+/// All surviving records, merged across rings and sorted by tick.
+/// (Test/diagnostic path; dump_chrome_trace for the file format.)
+std::vector<TraceRecord> trace_records();
+
+/// Write Chrome trace-event JSON. Returns false on I/O failure.
+bool dump_chrome_trace(const std::string& path);
+
+/// Hot-path entry used by TOMA_TRACE*.
+void trace_event_slow(const char* name, TracePhase phase, std::uint64_t arg);
+
+inline void trace_event(const char* name, TracePhase phase,
+                        std::uint64_t arg) {
+  if (!trace_enabled()) return;
+  trace_event_slow(name, phase, arg);
+}
+
+}  // namespace toma::obs

@@ -37,6 +37,7 @@
 #include <cstdint>
 
 #include "gpusim/this_thread.hpp"
+#include "obs/telemetry.hpp"
 #include "sync/backoff.hpp"
 #include "util/assert.hpp"
 
@@ -74,12 +75,14 @@ class BulkSemaphore {
         if (word_.compare_exchange_weak(w, pack(c, e + (b - n), r),
                                         std::memory_order_acq_rel,
                                         std::memory_order_acquire)) {
+          TOMA_CTR_INC("sync.bsem.grow");
           return WaitResult::kMustGrow;
         }
       } else if (c >= n) {
         if (word_.compare_exchange_weak(w, pack(c - n, e, r),
                                         std::memory_order_acq_rel,
                                         std::memory_order_acquire)) {
+          TOMA_CTR_INC("sync.bsem.acquired");
           return WaitResult::kAcquired;
         }
       } else {
@@ -97,12 +100,15 @@ class BulkSemaphore {
         if (word_.compare_exchange_weak(w, pack(c, e, r + n),
                                         std::memory_order_acq_rel,
                                         std::memory_order_acquire)) {
+          TOMA_CTR_INC("sync.bsem.reserve");
+          [[maybe_unused]] const std::uint64_t t0 = TOMA_NOW_NS();
           w = word_.load(std::memory_order_acquire);
           while (unpack_c(w) < n &&
                  unpack_r(w) <= unpack_c(w) + unpack_e(w)) {
             bo.pause();
             w = word_.load(std::memory_order_acquire);
           }
+          TOMA_HIST("sync.bsem.wait_ns", TOMA_NOW_NS() - t0);
           // Drop the reservation and re-decide from scratch.
           w = word_.fetch_sub(pack(0, 0, n), std::memory_order_acq_rel) -
               pack(0, 0, n);

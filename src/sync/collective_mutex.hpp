@@ -24,6 +24,7 @@
 #include <cstdint>
 
 #include "gpusim/warp.hpp"
+#include "obs/telemetry.hpp"
 #include "sync/backoff.hpp"
 #include "sync/spin_mutex.hpp"
 #include "util/assert.hpp"
@@ -38,7 +39,10 @@ class Collective {
   /// call this exactly once with the same group object value.
   void lock(const gpu::CoalescedGroup& g) {
     if (g.is_leader()) {
+      if (g.size() > 1) TOMA_CTR_INC("sync.cmutex.collective_acquire");
+      [[maybe_unused]] const std::uint64_t t0 = TOMA_NOW_NS();
       base_.lock();
+      TOMA_HIST("sync.cmutex.acquire_ns", TOMA_NOW_NS() - t0);
       pending_unlocks_.store(g.size(), std::memory_order_relaxed);
       // Publishing the token is the release point that lets members in.
       owner_token_.store(g.token(), std::memory_order_release);

@@ -1,5 +1,7 @@
 #include "sync/rcu.hpp"
 
+#include "obs/telemetry.hpp"
+
 namespace toma::sync {
 
 void SrcuDomain::call(RcuCallback* cb) {
@@ -36,13 +38,17 @@ void SrcuDomain::synchronize() {
       epoch_.fetch_add(1, std::memory_order_acq_rel);
   const unsigned old_idx = static_cast<unsigned>(old_epoch & 1);
 
+  // Grace-period length: epoch flip until the last old-epoch reader leaves.
+  [[maybe_unused]] const std::uint64_t t0 = TOMA_NOW_NS();
   Backoff bo;
   while (readers_[old_idx].load(std::memory_order_acquire) != 0) {
     bo.pause();
   }
+  TOMA_HIST("sync.rcu.grace_ns", TOMA_NOW_NS() - t0);
   writer_mu_.unlock();
 
   full_barriers_.fetch_add(1, std::memory_order_relaxed);
+  TOMA_CTR_INC("sync.rcu.full_barrier");
   run_callbacks(adopted);
 }
 
@@ -55,6 +61,7 @@ void SrcuDomain::barrier_conditional(RcuCallback* cb) {
   call(cb);
   if (pending_barriers_.load(std::memory_order_seq_cst) > 0) {
     delegated_barriers_.fetch_add(1, std::memory_order_relaxed);
+    TOMA_CTR_INC("sync.rcu.delegated_barrier");
     return;
   }
   synchronize();

@@ -46,15 +46,21 @@ double SampleSet::min() { return quantile(0.0); }
 double SampleSet::max() { return quantile(1.0); }
 
 std::string eng_format(double v, int precision) {
+  if (std::isnan(v)) return "nan";
+  if (std::isinf(v)) return v > 0 ? "inf" : "-inf";
+  if (v == 0.0) return "0";  // covers -0.0, which %g would print as "-0"
+  // Scale by magnitude so negative values pick the same suffix as their
+  // absolute value ("-1.5k", not "-1.5e+03").
+  const double mag = std::fabs(v);
   const char* suffix = "";
   double scaled = v;
-  if (v >= 1e9) {
+  if (mag >= 1e9) {
     scaled = v / 1e9;
     suffix = "G";
-  } else if (v >= 1e6) {
+  } else if (mag >= 1e6) {
     scaled = v / 1e6;
     suffix = "M";
-  } else if (v >= 1e3) {
+  } else if (mag >= 1e3) {
     scaled = v / 1e3;
     suffix = "k";
   }

@@ -125,6 +125,36 @@ TEST_F(GpuAllocatorTest, CallocZeroesAndChecksOverflow) {
   EXPECT_EQ(ga_.calloc(0, 8), nullptr);
 }
 
+TEST_F(GpuAllocatorTest, CallocOverflowCountsAsFailedAttempt) {
+  const auto before = ga_.stats();
+  EXPECT_EQ(ga_.calloc(SIZE_MAX / 2, 4), nullptr);
+  const auto after = ga_.stats();
+  // The overflow early-return is still an allocation attempt: it must bump
+  // both counters, keeping mallocs == frees + failed_mallocs.
+  EXPECT_EQ(after.mallocs, before.mallocs + 1);
+  EXPECT_EQ(after.failed_mallocs, before.failed_mallocs + 1);
+  EXPECT_EQ(after.frees, before.frees);
+  EXPECT_EQ(after.mallocs, after.frees + after.failed_mallocs);
+}
+
+TEST_F(GpuAllocatorTest, CallocAndReallocKeepStatsConsistent) {
+  void* a = ga_.calloc(4, 16);
+  ASSERT_NE(a, nullptr);
+  void* b = ga_.realloc(nullptr, 32);   // malloc path
+  ASSERT_NE(b, nullptr);
+  b = ga_.realloc(b, 20);               // same class: no new allocation
+  b = ga_.realloc(b, 4096);             // cross-class: malloc + free
+  ASSERT_NE(b, nullptr);
+  EXPECT_EQ(ga_.realloc(b, 0), nullptr);  // free path
+  ga_.free(a);
+  EXPECT_EQ(ga_.calloc(0, 8), nullptr);   // zero-size: not an attempt
+  const auto st = ga_.stats();
+  EXPECT_EQ(st.mallocs, 3u);  // calloc, realloc(nullptr), cross-class grow
+  EXPECT_EQ(st.frees, 3u);    // cross-class free, realloc(b,0), free(a)
+  EXPECT_EQ(st.failed_mallocs, 0u);
+  EXPECT_EQ(st.mallocs, st.frees + st.failed_mallocs);
+}
+
 TEST_F(GpuAllocatorTest, ReallocSemantics) {
   // nullptr -> malloc.
   auto* p = static_cast<unsigned char*>(ga_.realloc(nullptr, 40));

@@ -10,6 +10,7 @@
 
 #include "alloc/alloc.hpp"
 #include "gpusim/gpusim.hpp"
+#include "obs/telemetry.hpp"
 #include "support/test_support.hpp"
 
 namespace toma {
@@ -20,6 +21,9 @@ TEST(Stress, ManyWavesMixedSizes) {
   alloc::GpuAllocator ga(64 * 1024 * 1024, dev.num_sms());
   constexpr std::uint64_t kThreads = 20000;
   std::atomic<std::uint64_t> completed{0};
+#if TOMA_TELEMETRY
+  const obs::Snapshot obs_before = obs::registry().snapshot();
+#endif
 
   dev.launch_linear(kThreads, 128, [&](gpu::ThreadCtx& t) {
     if (t.global_rank() >= kThreads) return;
@@ -60,6 +64,30 @@ TEST(Stress, ManyWavesMixedSizes) {
       << "memory failed to coalesce after full free + trim";
   const auto st = ga.stats();
   EXPECT_EQ(st.mallocs, st.frees + st.failed_mallocs);
+
+#if TOMA_TELEMETRY
+  // Telemetry invariant: the sharded counters must agree exactly with the
+  // allocator's own (exact, atomic) statistics — a lost counter bump means
+  // sharding misrouted or a path is uninstrumented. This allocator is the
+  // only one live during the launch, so the registry delta is all ours.
+  // A counter whose call site never executed is absent, which counts as 0.
+  const obs::Snapshot obs_delta =
+      obs::registry().snapshot().diff_since(obs_before);
+  const auto ctr = [&](const char* name) -> std::uint64_t {
+    const auto it = obs_delta.counters.find(name);
+    return it == obs_delta.counters.end() ? 0 : it->second;
+  };
+  EXPECT_EQ(ctr("alloc.malloc"), st.mallocs);
+  EXPECT_EQ(ctr("alloc.free"), st.frees);
+  EXPECT_EQ(ctr("alloc.failed"), st.failed_mallocs);
+  // Every malloc attempt records one latency sample in some size class.
+  std::uint64_t hist_samples = 0;
+  for (const auto& [name, h] : obs_delta.histograms) {
+    if (name.rfind("alloc.malloc_ns[", 0) == 0) hist_samples += h.count;
+  }
+  EXPECT_EQ(hist_samples, st.mallocs);
+  EXPECT_EQ(obs_delta.histograms.at("alloc.free_ns").count, st.frees);
+#endif
 }
 
 TEST(Stress, SameSizeThundering) {

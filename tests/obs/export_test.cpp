@@ -1,0 +1,152 @@
+// Snapshot export formats: text report, JSON (golden structural check with
+// a minimal validating parser), and the Chrome trace-event file.
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "obs/registry.hpp"
+#include "obs/trace.hpp"
+
+namespace toma::obs {
+namespace {
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path);
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+// Minimal JSON validator: checks balanced braces/brackets outside strings,
+// string escaping, and that the document is a single object. Not a full
+// parser, but enough to catch the classic emitter bugs (trailing commas
+// are caught by the golden-substring checks below).
+bool json_shape_ok(const std::string& s) {
+  int depth = 0;
+  bool in_str = false;
+  bool esc = false;
+  bool seen_root = false;
+  for (const char c : s) {
+    if (in_str) {
+      if (esc) {
+        esc = false;
+      } else if (c == '\\') {
+        esc = true;
+      } else if (c == '"') {
+        in_str = false;
+      }
+      continue;
+    }
+    if (c == '"') {
+      in_str = true;
+    } else if (c == '{' || c == '[') {
+      ++depth;
+      seen_root = true;
+    } else if (c == '}' || c == ']') {
+      if (--depth < 0) return false;
+    } else if (depth == 0 && !std::isspace(static_cast<unsigned char>(c)) &&
+               seen_root) {
+      return false;  // trailing garbage after the root value
+    }
+  }
+  return depth == 0 && !in_str && seen_root;
+}
+
+class TempFile {
+ public:
+  explicit TempFile(const char* name)
+      : path_(::testing::TempDir() + name) {}
+  ~TempFile() { std::remove(path_.c_str()); }
+  const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;
+};
+
+TEST(SnapshotExport, TextReportListsEverything) {
+  Registry r;
+  r.counter("x.count").add(1234);
+  r.histogram("x.lat_ns").record(100);
+  const std::string text = r.snapshot().to_text();
+  EXPECT_NE(text.find("x.count"), std::string::npos);
+  EXPECT_NE(text.find("1234"), std::string::npos);
+  EXPECT_NE(text.find("x.lat_ns"), std::string::npos);
+  EXPECT_NE(text.find("p99"), std::string::npos);
+}
+
+TEST(SnapshotExport, JsonGolden) {
+  Registry r;
+  r.counter("a.one").add(1);
+  r.counter("b \"quoted\"").add(2);  // name needing escaping
+  Histogram& h = r.histogram("lat");
+  h.record(0);
+  h.record(5);
+  h.record(5);
+  const std::string json = r.snapshot().to_json();
+
+  EXPECT_TRUE(json_shape_ok(json)) << json;
+  // Golden structural substrings (stable: maps iterate sorted by name).
+  EXPECT_NE(json.find("\"counters\":{"), std::string::npos);
+  EXPECT_NE(json.find("\"a.one\":1"), std::string::npos);
+  EXPECT_NE(json.find("\"b \\\"quoted\\\"\":2"), std::string::npos);
+  EXPECT_NE(json.find("\"histograms\":{"), std::string::npos);
+  EXPECT_NE(json.find("\"count\":3"), std::string::npos);
+  EXPECT_NE(json.find("\"sum\":10"), std::string::npos);
+  EXPECT_NE(json.find("\"min\":0"), std::string::npos);
+  EXPECT_NE(json.find("\"max\":5"), std::string::npos);
+  // 0 lands in bucket 0, the two 5s in bucket 3 = [4,8); trailing zero
+  // buckets are elided.
+  EXPECT_NE(json.find("\"buckets\":[1,0,0,2]"), std::string::npos);
+}
+
+TEST(SnapshotExport, WriteJsonRoundTripsThroughDisk) {
+  Registry r;
+  r.counter("disk.count").add(9);
+  TempFile f("obs_export_test.json");
+  ASSERT_TRUE(r.snapshot().write_json(f.path()));
+  const std::string loaded = slurp(f.path());
+  EXPECT_EQ(loaded, r.snapshot().to_json());
+  EXPECT_TRUE(json_shape_ok(loaded));
+}
+
+TEST(SnapshotExport, EmptySnapshotIsStillValidJson) {
+  Registry r;
+  EXPECT_TRUE(json_shape_ok(r.snapshot().to_json()));
+}
+
+TEST(ChromeTrace, FileIsValidTraceEventJson) {
+  enable_tracing(64);
+  reset_trace();
+  trace_event("evt", TracePhase::kInstant, 3);
+  trace_event("span", TracePhase::kBegin, 1);
+  trace_event("span", TracePhase::kEnd, 1);
+  disable_tracing();
+
+  TempFile f("obs_trace_test.json");
+  ASSERT_TRUE(dump_chrome_trace(f.path()));
+  const std::string json = slurp(f.path());
+  EXPECT_TRUE(json_shape_ok(json)) << json;
+  EXPECT_NE(json.find("\"traceEvents\":["), std::string::npos);
+  EXPECT_NE(json.find("\"process_name\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"evt\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"i\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"b\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"e\""), std::string::npos);
+  EXPECT_NE(json.find("\"displayTimeUnit\":\"ms\""), std::string::npos);
+}
+
+TEST(ChromeTrace, EmptyTraceStillDumps) {
+  enable_tracing(64);
+  reset_trace();
+  disable_tracing();
+  TempFile f("obs_trace_empty.json");
+  ASSERT_TRUE(dump_chrome_trace(f.path()));
+  EXPECT_TRUE(json_shape_ok(slurp(f.path())));
+}
+
+}  // namespace
+}  // namespace toma::obs

@@ -1,0 +1,112 @@
+// Trace-ring behavior: capture, per-SM attribution, wraparound accounting,
+// and the runtime enable gate.
+#include "obs/trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string_view>
+#include <vector>
+
+#include "obs/telemetry.hpp"
+#include "support/test_support.hpp"
+
+namespace toma::obs {
+namespace {
+
+class TraceTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    enable_tracing(/*capacity_per_ring=*/64);
+    reset_trace();
+  }
+  void TearDown() override { disable_tracing(); }
+};
+
+TEST_F(TraceTest, CapturesInOrderWithPayload) {
+  trace_event("alpha", TracePhase::kInstant, 7);
+  trace_event("beta", TracePhase::kBegin, 42);
+  trace_event("beta", TracePhase::kEnd, 42);
+  const auto recs = trace_records();
+  ASSERT_EQ(recs.size(), 3u);
+  // Same tick, same ring: stable sort keeps push order.
+  EXPECT_STREQ(recs[0].name, "alpha");
+  EXPECT_EQ(recs[0].arg, 7u);
+  EXPECT_EQ(recs[0].phase, TracePhase::kInstant);
+  EXPECT_EQ(recs[1].phase, TracePhase::kBegin);
+  EXPECT_EQ(recs[2].phase, TracePhase::kEnd);
+  EXPECT_EQ(trace_dropped(), 0u);
+}
+
+TEST_F(TraceTest, DisabledGateDropsEverything) {
+  disable_tracing();
+  trace_event("ignored", TracePhase::kInstant, 0);
+  EXPECT_TRUE(trace_records().empty());
+}
+
+TEST_F(TraceTest, WraparoundKeepsNewestAndCountsDropped) {
+  // 100 pushes into a 64-slot ring from one host thread: 36 dropped, and
+  // the survivors are exactly the newest 64 (args 36..99).
+  for (std::uint64_t i = 0; i < 100; ++i) {
+    trace_event("spin", TracePhase::kInstant, i);
+  }
+  const auto recs = trace_records();
+  ASSERT_EQ(recs.size(), 64u);
+  EXPECT_EQ(trace_dropped(), 36u);
+  std::vector<std::uint64_t> args;
+  for (const auto& r : recs) args.push_back(r.arg);
+  std::sort(args.begin(), args.end());
+  EXPECT_EQ(args.front(), 36u);
+  EXPECT_EQ(args.back(), 99u);
+}
+
+TEST_F(TraceTest, KernelEventsCarrySmIdentity) {
+  gpu::Device dev(test::small_device(/*num_sms=*/2));
+  dev.launch_linear(256, 64, [](gpu::ThreadCtx&) {
+#if TOMA_TELEMETRY
+    TOMA_TRACE("kernel.mark", 1);
+#endif
+  });
+  const auto recs = trace_records();
+  bool saw_kernel_mark = false;
+  for (const auto& r : recs) {
+    if (std::string_view(r.name) == "kernel.mark") {
+      saw_kernel_mark = true;
+      EXPECT_LT(r.sm, 2u);  // attributed to a real SM, not a host shard
+    }
+  }
+#if TOMA_TELEMETRY
+  EXPECT_TRUE(saw_kernel_mark);
+  // The scheduler's block lifecycle events are async begin/end pairs.
+  std::uint64_t begins = 0, ends = 0;
+  for (const auto& r : recs) {
+    if (std::string_view(r.name) == "block") {
+      if (r.phase == TracePhase::kBegin) ++begins;
+      if (r.phase == TracePhase::kEnd) ++ends;
+    }
+  }
+  EXPECT_GT(begins, 0u);
+  EXPECT_EQ(begins, ends);
+#else
+  (void)saw_kernel_mark;
+#endif
+}
+
+TEST_F(TraceTest, TicksAreMonotoneInTheMergedStream) {
+  gpu::Device dev(test::small_device());
+  dev.launch_linear(512, 64, [](gpu::ThreadCtx&) {});
+  const auto recs = trace_records();
+  for (std::size_t i = 1; i < recs.size(); ++i) {
+    EXPECT_LE(recs[i - 1].tick, recs[i].tick);
+  }
+}
+
+TEST_F(TraceTest, ResetDiscardsRecords) {
+  trace_event("gone", TracePhase::kInstant, 0);
+  reset_trace();
+  EXPECT_TRUE(trace_records().empty());
+  EXPECT_EQ(trace_dropped(), 0u);
+}
+
+}  // namespace
+}  // namespace toma::obs

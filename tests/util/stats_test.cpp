@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <limits>
+
 namespace toma::util {
 namespace {
 
@@ -47,11 +49,61 @@ TEST(SampleSet, Quantiles) {
   EXPECT_DOUBLE_EQ(s.mean(), 50.5);
 }
 
+TEST(SampleSet, EmptyIsSafe) {
+  SampleSet s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(s.quantile(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(s.median(), 0.0);
+  EXPECT_DOUBLE_EQ(s.quantile(1.0), 0.0);
+  EXPECT_DOUBLE_EQ(s.min(), 0.0);
+  EXPECT_DOUBLE_EQ(s.max(), 0.0);
+}
+
+TEST(SampleSet, SingleSampleEveryQuantile) {
+  SampleSet s;
+  s.add(42.0);
+  for (double q : {0.0, 0.25, 0.5, 0.75, 0.95, 1.0}) {
+    EXPECT_DOUBLE_EQ(s.quantile(q), 42.0) << "q=" << q;
+  }
+  EXPECT_DOUBLE_EQ(s.min(), 42.0);
+  EXPECT_DOUBLE_EQ(s.max(), 42.0);
+  EXPECT_DOUBLE_EQ(s.mean(), 42.0);
+}
+
+TEST(SampleSet, TwoSamplesInterpolate) {
+  SampleSet s;
+  s.add(10.0);
+  s.add(20.0);
+  EXPECT_DOUBLE_EQ(s.median(), 15.0);
+  EXPECT_DOUBLE_EQ(s.quantile(0.0), 10.0);
+  EXPECT_DOUBLE_EQ(s.quantile(1.0), 20.0);
+}
+
 TEST(EngFormat, Suffixes) {
   EXPECT_EQ(eng_format(950), "950");
   EXPECT_EQ(eng_format(1500), "1.5k");
   EXPECT_EQ(eng_format(2.5e6), "2.5M");
   EXPECT_EQ(eng_format(3.25e9, 3), "3.25G");
+}
+
+TEST(EngFormat, ZeroAndNegativeZero) {
+  EXPECT_EQ(eng_format(0.0), "0");
+  EXPECT_EQ(eng_format(-0.0), "0");
+}
+
+TEST(EngFormat, NegativeValuesGetSuffixes) {
+  EXPECT_EQ(eng_format(-950), "-950");
+  EXPECT_EQ(eng_format(-1500), "-1.5k");
+  EXPECT_EQ(eng_format(-2.5e6), "-2.5M");
+  EXPECT_EQ(eng_format(-3.25e9, 3), "-3.25G");
+}
+
+TEST(EngFormat, NonFinite) {
+  const double inf = std::numeric_limits<double>::infinity();
+  EXPECT_EQ(eng_format(inf), "inf");
+  EXPECT_EQ(eng_format(-inf), "-inf");
+  EXPECT_EQ(eng_format(std::numeric_limits<double>::quiet_NaN()), "nan");
 }
 
 }  // namespace
