@@ -1,0 +1,104 @@
+// Ablation A6 — the per-(SM, size-class) magazine front-end (not in the
+// paper; docs/INTERNALS.md §4b).
+//
+// Workload: small-block churn. Every thread keeps a ring of `depth` live
+// blocks and repeatedly frees the oldest slot and allocates a replacement
+// of the same size — the malloc-follows-free pattern the magazines target.
+// With magazines ON a free parks the block in the freeing SM's magazine
+// and the next allocate of that class pops it back without touching the
+// bulk semaphore or the RCU bin lists; OFF is the paper's exact path.
+//
+// Protocol: sizes x ring depths, magazines on vs off on the same device
+// and pool geometry; report churn ops/s (one op = a free or a malloc),
+// the on/off speedup, and the magazine hit rate. Acceptance: >= 1.3x on
+// small-block churn (see EXPERIMENTS.md A6).
+#include <atomic>
+#include <cinttypes>
+#include <memory>
+
+#include "alloc/alloc.hpp"
+#include "common/harness.hpp"
+
+namespace toma::bench {
+namespace {
+
+constexpr std::uint32_t kMaxDepth = 16;
+
+struct Out {
+  double rate;     // churn ops (malloc+free) per second
+  double hit_pct;  // magazine hits / (hits + misses), in percent
+};
+
+Out run(gpu::Device& dev, const Options& opt, std::size_t size,
+        std::uint32_t depth, bool magazines) {
+  const std::uint64_t threads = opt.quick ? 2048 : 8192;
+  const std::uint32_t rounds = opt.full ? 128 : 32;
+  // Live set = threads * depth * size; x4 slack keeps exhaustion (a
+  // different ablation's subject) out of the measurement.
+  std::size_t pool_bytes = util::round_up_pow2(threads * depth * size * 4);
+  if (pool_bytes < (16u << 20)) pool_bytes = 16u << 20;
+  void* pool = std::aligned_alloc(pool_bytes, pool_bytes);
+  auto buddy = std::make_unique<alloc::TBuddy>(pool, pool_bytes);
+  auto ua = std::make_unique<alloc::UAlloc>(*buddy, opt.num_sms);
+  ua->set_magazines(magazines);
+
+  const alloc::UAllocStats before = ua->stats();
+  const double secs = time_launch(
+      dev, threads, opt.block_sizes.front(),
+      [&ua, threads, size, depth, rounds](gpu::ThreadCtx& t) {
+        if (t.global_rank() >= threads) return;
+        void* slots[kMaxDepth] = {};
+        for (std::uint32_t r = 0; r < rounds; ++r) {
+          const std::uint32_t i = r % depth;
+          if (slots[i] != nullptr) ua->free(slots[i]);
+          slots[i] = ua->allocate(size);
+        }
+        for (std::uint32_t i = 0; i < depth; ++i) {
+          if (slots[i] != nullptr) ua->free(slots[i]);
+        }
+      });
+  const alloc::UAllocStats after = ua->stats();
+
+  const std::uint64_t hits = after.magazine_hits - before.magazine_hits;
+  const std::uint64_t misses = after.magazine_misses - before.magazine_misses;
+  // Each round is one malloc plus (except the first depth rounds) one free;
+  // the drain adds the deferred frees back, so ops = 2 * rounds per thread.
+  Out out{static_cast<double>(2ull * rounds * threads) / secs,
+          hits + misses == 0
+              ? 0.0
+              : 100.0 * static_cast<double>(hits) /
+                    static_cast<double>(hits + misses)};
+  ua.reset();
+  buddy.reset();
+  std::free(pool);
+  return out;
+}
+
+int main_impl(int argc, char** argv) {
+  const Options opt = Options::parse(argc, argv);
+  gpu::Device dev(opt.device_config());
+
+  util::Table table("Ablation A6: UAlloc magazines on/off (churn)");
+  table.set_header({"size", "depth", "on (ops/s)", "off (ops/s)", "speedup",
+                    "on hit%"});
+  for (std::size_t size : {16, 64, 256}) {
+    for (std::uint32_t depth : {1u, 4u, 16u}) {
+      const Out on = run(dev, opt, size, depth, true);
+      const Out off = run(dev, opt, size, depth, false);
+      table.add(util::eng_format(static_cast<double>(size)) + "B",
+                std::uint64_t{depth}, on.rate, off.rate, on.rate / off.rate,
+                on.hit_pct);
+      std::printf("  size=%zu depth=%u on=%.3g off=%.3g speedup=%.2fx "
+                  "hit=%.1f%%\n",
+                  size, depth, on.rate, off.rate, on.rate / off.rate,
+                  on.hit_pct);
+    }
+  }
+  finish_table(opt, table);
+  return 0;
+}
+
+}  // namespace
+}  // namespace toma::bench
+
+int main(int argc, char** argv) { return toma::bench::main_impl(argc, argv); }

@@ -2,7 +2,8 @@
 //
 // Every bench binary:
 //   * accepts --quick (shrink sweep for smoke runs), --full (paper-scale
-//     sweep), --csv=PATH (machine-readable copy), --blocks=N (thread-block
+//     sweep), --csv=PATH / --json=PATH (machine-readable copies of the
+//     result table), --blocks=N (thread-block
 //     size; default sweeps a small set and averages, as the paper
 //     averages over block sizes 1..1024);
 //   * prints an ASCII table with the same rows/series the paper plots.
@@ -30,6 +31,7 @@ struct Options {
   bool quick = false;
   bool full = false;
   std::string csv_path;
+  std::string json_path;
   std::string trace_path;
   bool metrics = false;
   std::string metrics_path;
@@ -48,6 +50,8 @@ struct Options {
         o.full = true;
       } else if (std::strncmp(a, "--csv=", 6) == 0) {
         o.csv_path = a + 6;
+      } else if (std::strncmp(a, "--json=", 7) == 0) {
+        o.json_path = a + 7;
       } else if (std::strncmp(a, "--trace=", 8) == 0) {
         o.trace_path = a + 8;
       } else if (std::strcmp(a, "--metrics") == 0) {
@@ -64,8 +68,8 @@ struct Options {
       } else {
         std::fprintf(stderr,
                      "usage: %s [--quick|--full] [--csv=PATH] "
-                     "[--trace=PATH] [--metrics[=PATH]] [--blocks=N] "
-                     "[--sms=N] [--workers=N]\n",
+                     "[--json=PATH] [--trace=PATH] [--metrics[=PATH]] "
+                     "[--blocks=N] [--sms=N] [--workers=N]\n",
                      argv[0]);
         std::exit(2);
       }
@@ -159,6 +163,13 @@ inline void finish_table(const Options& opt, util::Table& table) {
       std::printf("csv written to %s\n", opt.csv_path.c_str());
     } else {
       std::fprintf(stderr, "failed to write %s\n", opt.csv_path.c_str());
+    }
+  }
+  if (!opt.json_path.empty()) {
+    if (table.write_json(opt.json_path)) {
+      std::printf("json written to %s\n", opt.json_path.c_str());
+    } else {
+      std::fprintf(stderr, "failed to write %s\n", opt.json_path.c_str());
     }
   }
   finish_telemetry(opt);

@@ -111,9 +111,16 @@ void* GpuAllocator::realloc(void* p, std::size_t size) {
     free(p);
     return nullptr;
   }
+  st_reallocs_.fetch_add(1, std::memory_order_relaxed);
+  TOMA_CTR_INC("alloc.realloc");
   const std::size_t old_cap = usable_size(p);
-  if (size <= old_cap && effective_size(size) == old_cap) {
-    return p;  // still the best-fitting block
+  if (effective_size(size) == old_cap) {
+    // The new size rounds to the very block we hold (same UAlloc class or
+    // buddy order): no copy, no free/malloc round trip. Note
+    // effective_size(size) >= size, so equality implies size <= old_cap.
+    st_reallocs_inplace_.fetch_add(1, std::memory_order_relaxed);
+    TOMA_CTR_INC("alloc.realloc_inplace");
+    return p;
   }
   void* q = malloc(size);
   if (q == nullptr) return nullptr;
@@ -135,6 +142,8 @@ GpuAllocatorStats GpuAllocator::stats() const {
   s.mallocs = st_mallocs_.load(std::memory_order_relaxed);
   s.failed_mallocs = st_failed_.load(std::memory_order_relaxed);
   s.frees = st_frees_.load(std::memory_order_relaxed);
+  s.reallocs = st_reallocs_.load(std::memory_order_relaxed);
+  s.reallocs_inplace = st_reallocs_inplace_.load(std::memory_order_relaxed);
   return s;
 }
 

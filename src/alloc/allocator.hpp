@@ -26,6 +26,8 @@ struct GpuAllocatorStats {
   std::uint64_t mallocs = 0;
   std::uint64_t failed_mallocs = 0;
   std::uint64_t frees = 0;
+  std::uint64_t reallocs = 0;          // realloc calls that resized (p, n>0)
+  std::uint64_t reallocs_inplace = 0;  // ...of which returned p unchanged
 };
 
 class GpuAllocator {
@@ -52,8 +54,10 @@ class GpuAllocator {
   /// Standard realloc semantics: grows/shrinks `p` to `size` bytes,
   /// preserving min(old, new) bytes; realloc(nullptr, s) == malloc(s);
   /// realloc(p, 0) frees p and returns nullptr. On failure the original
-  /// block is untouched and nullptr is returned. No-op when the new size
-  /// still fits the block's actual capacity.
+  /// block is untouched and nullptr is returned. Fast path: when the new
+  /// size rounds to the block's existing capacity (same size class /
+  /// buddy order), `p` is returned unchanged — no copy, no free/malloc
+  /// round trip (counted in stats().reallocs_inplace).
   void* realloc(void* p, std::size_t size);
 
   /// Actual byte capacity of a live allocation (>= the requested size).
@@ -68,8 +72,14 @@ class GpuAllocator {
   UAlloc& ualloc() { return *ualloc_; }
 
   /// Scavenge cached-but-empty UAlloc bins/chunks back into the buddy
-  /// pool (malloc_trim analogue). Returns chunks released.
+  /// pool (malloc_trim analogue); flushes the magazines first. Returns
+  /// chunks released.
   std::size_t trim() { return ualloc_->trim(); }
+
+  /// Flush the UAlloc magazines only (cached blocks re-enter the bin
+  /// accounting; no chunk is returned to the buddy). Returns blocks
+  /// flushed.
+  std::size_t release_cached() { return ualloc_->release_cached(); }
 
   GpuAllocatorStats stats() const;
 
@@ -87,6 +97,8 @@ class GpuAllocator {
   mutable std::atomic<std::uint64_t> st_mallocs_{0};
   mutable std::atomic<std::uint64_t> st_failed_{0};
   mutable std::atomic<std::uint64_t> st_frees_{0};
+  mutable std::atomic<std::uint64_t> st_reallocs_{0};
+  mutable std::atomic<std::uint64_t> st_reallocs_inplace_{0};
 };
 
 }  // namespace toma::alloc

@@ -74,6 +74,32 @@ constexpr std::uint32_t order_for_bytes(std::size_t bytes) {
 /// TBuddy order of one UAlloc chunk (256 KB / 4 KB = 64 pages = order 6).
 inline constexpr std::uint32_t kChunkOrder = 6;
 
+// --- magazine front-end (not in the paper; see docs/INTERNALS.md §4b) ------
+//
+// Each (arena, size class) keeps a bounded LIFO of recently freed blocks in
+// front of the bulk-semaphore/RCU bin machinery. A cached block's bitmap
+// bit stays *claimed*, so the invariant "semaphore value == claimable
+// blocks in listed bins" never sees cached blocks at all.
+
+/// Compile-time default for the magazine front-end (CMake option
+/// TOMA_UALLOC_MAGAZINES, default ON). UAlloc::set_magazines() toggles at
+/// runtime; this macro only selects the starting state, so a magazines-OFF
+/// build still compiles (and tests) the machinery.
+#ifndef TOMA_UALLOC_MAGAZINES
+#define TOMA_UALLOC_MAGAZINES 1
+#endif
+
+/// Magazine depth as a multiple of the class's bin capacity. Two bins'
+/// worth lets a class absorb a full bin of churn plus a warp-sized burst
+/// without touching the semaphore, while bounding how much memory a
+/// magazine can strand (overflow spills through the paper's free path).
+inline constexpr std::uint32_t kMagazineBinFactor = 2;
+
+/// Cached-block bound of one (arena, class) magazine.
+constexpr std::uint32_t magazine_capacity(std::uint32_t cls) {
+  return kMagazineBinFactor * bin_capacity(cls);
+}
+
 static_assert(kChunkSize / kPageSize == (1u << kChunkOrder));
 static_assert(kBinsPerChunk == 64, "one 64-bit word tracks the chunk bins");
 static_assert(kDataBins == 62, "two header bins leave 62 data bins");

@@ -113,6 +113,26 @@ Snapshot Snapshot::diff_since(const Snapshot& before) const {
   return d;
 }
 
+std::map<std::string, double> Snapshot::derived_rates() const {
+  std::map<std::string, double> out;
+  constexpr char kHit[] = ".hit";
+  for (const auto& [name, hits] : counters) {
+    if (name.size() <= sizeof(kHit) - 1 ||
+        name.compare(name.size() - (sizeof(kHit) - 1), sizeof(kHit) - 1,
+                     kHit) != 0) {
+      continue;
+    }
+    const std::string base = name.substr(0, name.size() - (sizeof(kHit) - 1));
+    const auto miss_it = counters.find(base + ".miss");
+    if (miss_it == counters.end()) continue;
+    const std::uint64_t total = hits + miss_it->second;
+    if (total == 0) continue;
+    out[base + ".hit_rate"] =
+        static_cast<double>(hits) / static_cast<double>(total);
+  }
+  return out;
+}
+
 std::string Snapshot::to_text() const {
   std::string out;
   char buf[256];
@@ -121,6 +141,14 @@ std::string Snapshot::to_text() const {
     std::snprintf(buf, sizeof(buf), "  %-40s %12" PRIu64 "\n", name.c_str(),
                   v);
     out += buf;
+  }
+  if (const auto rates = derived_rates(); !rates.empty()) {
+    out += "== derived (hit / (hit + miss)) ==\n";
+    for (const auto& [name, r] : rates) {
+      std::snprintf(buf, sizeof(buf), "  %-40s %11.2f%%\n", name.c_str(),
+                    100.0 * r);
+      out += buf;
+    }
   }
   out += "== telemetry histograms (ns unless noted) ==\n";
   for (const auto& [name, h] : histograms) {
@@ -147,6 +175,16 @@ std::string Snapshot::to_json() const {
     out += "\n\"";
     json_escape_into(out, name);
     std::snprintf(buf, sizeof(buf), "\":%" PRIu64, v);
+    out += buf;
+  }
+  out += "\n},\"derived\":{";
+  first = true;
+  for (const auto& [name, r] : derived_rates()) {
+    if (!first) out += ",";
+    first = false;
+    out += "\n\"";
+    json_escape_into(out, name);
+    std::snprintf(buf, sizeof(buf), "\":%.6g", r);
     out += buf;
   }
   out += "\n},\"histograms\":{";

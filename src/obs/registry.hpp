@@ -30,12 +30,18 @@ struct Snapshot {
   /// subtract, min/max keep the later absolute values).
   Snapshot diff_since(const Snapshot& before) const;
 
+  /// Derived ratios: for every counter pair `<base>.hit` / `<base>.miss`
+  /// with hit+miss > 0, maps `<base>.hit_rate` to hit / (hit + miss).
+  /// Computed on demand so stored snapshots stay purely integral.
+  std::map<std::string, double> derived_rates() const;
+
   /// Human-readable report: counters sorted by name, histograms with
   /// count/mean/p50/p95/p99/max. Zero-valued counters are kept — absence
   /// of events is information too.
   std::string to_text() const;
 
-  /// Machine-readable JSON: {"counters":{...},"histograms":{...}}.
+  /// Machine-readable JSON:
+  /// {"counters":{...},"derived":{...},"histograms":{...}}.
   std::string to_json() const;
 
   /// to_json() to a file; false on I/O failure.

@@ -91,4 +91,40 @@ bool Table::write_csv(const std::string& path) const {
   return true;
 }
 
+bool Table::write_json(const std::string& path) const {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (!f) return false;
+  auto write_str = [&](const std::string& s) {
+    std::fputc('"', f);
+    for (const char c : s) {
+      if (c == '"' || c == '\\') std::fputc('\\', f);
+      if (static_cast<unsigned char>(c) < 0x20) {
+        std::fprintf(f, "\\u%04x", c);
+      } else {
+        std::fputc(c, f);
+      }
+    }
+    std::fputc('"', f);
+  };
+  auto write_row = [&](const std::vector<std::string>& row) {
+    std::fputc('[', f);
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      if (c) std::fputc(',', f);
+      write_str(row[c]);
+    }
+    std::fputc(']', f);
+  };
+  std::fputs("{\"title\":", f);
+  write_str(title_);
+  std::fputs(",\n\"header\":", f);
+  write_row(header_);
+  std::fputs(",\n\"rows\":[", f);
+  for (std::size_t r = 0; r < rows_.size(); ++r) {
+    std::fputs(r == 0 ? "\n" : ",\n", f);
+    write_row(rows_[r]);
+  }
+  std::fputs("\n]}\n", f);
+  return std::fclose(f) == 0;
+}
+
 }  // namespace toma::util

@@ -34,6 +34,11 @@ class Table {
   /// Write CSV to `path`; returns false on I/O error.
   bool write_csv(const std::string& path) const;
 
+  /// Write JSON to `path`; returns false on I/O error. Shape:
+  /// {"title":"...","header":[...],"rows":[[...],...]} — all cells as
+  /// strings, exactly as formatted for the table.
+  bool write_json(const std::string& path) const;
+
  private:
   static std::string to_cell(const std::string& s) { return s; }
   static std::string to_cell(const char* s) { return s; }

@@ -188,6 +188,42 @@ TEST_F(GpuAllocatorTest, ReallocSemantics) {
   EXPECT_EQ(ga_.buddy().largest_free_block(), ga_.pool_bytes());
 }
 
+TEST_F(GpuAllocatorTest, ReallocInPlaceFastPath) {
+  // Any size that rounds to the block's existing capacity returns the same
+  // pointer with no copy and no malloc/free — counted in reallocs_inplace.
+  auto* p = static_cast<unsigned char*>(ga_.malloc(40));  // 64 B class
+  ASSERT_NE(p, nullptr);
+  std::memset(p, 0x5A, 40);
+  const auto before = ga_.stats();
+  EXPECT_EQ(ga_.realloc(p, 33), p);  // shrink within class
+  EXPECT_EQ(ga_.realloc(p, 64), p);  // grow to exact capacity
+  EXPECT_EQ(ga_.realloc(p, 64), p);  // same size again
+  const auto mid = ga_.stats();
+  EXPECT_EQ(mid.reallocs, before.reallocs + 3);
+  EXPECT_EQ(mid.reallocs_inplace, before.reallocs_inplace + 3);
+  EXPECT_EQ(mid.mallocs, before.mallocs);  // no round trip happened
+  EXPECT_EQ(mid.frees, before.frees);
+  for (int i = 0; i < 33; ++i) ASSERT_EQ(p[i], 0x5A);
+
+  // The buddy side takes the same fast path: 8 KB order, resized within.
+  void* big = ga_.malloc(5000);
+  ASSERT_NE(big, nullptr);
+  EXPECT_EQ(ga_.realloc(big, 8192), big);
+  EXPECT_EQ(ga_.realloc(big, 4097), big);
+  const auto after = ga_.stats();
+  EXPECT_EQ(after.reallocs_inplace, mid.reallocs_inplace + 2);
+
+  // Crossing a class boundary still moves (and counts as a plain realloc).
+  void* moved = ga_.realloc(p, 65);
+  EXPECT_NE(moved, static_cast<void*>(p));
+  const auto last = ga_.stats();
+  EXPECT_EQ(last.reallocs, after.reallocs + 1);
+  EXPECT_EQ(last.reallocs_inplace, after.reallocs_inplace);
+  ga_.free(moved);
+  ga_.free(big);
+  EXPECT_TRUE(ga_.check_consistency());
+}
+
 TEST_F(GpuAllocatorTest, ReallocInKernel) {
   gpu::Device dev(test::small_device());
   std::atomic<std::uint64_t> bad{0};

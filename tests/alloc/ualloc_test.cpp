@@ -320,5 +320,218 @@ TEST_F(UAllocTest, HostThreadsFallbackPath) {
   EXPECT_TRUE(ua_.check_consistency());
 }
 
+// ---------------------------------------------------------------------------
+// Magazine front-end (docs/INTERNALS.md §4b)
+// ---------------------------------------------------------------------------
+
+TEST_F(UAllocTest, MagazineHitReusesFreedBlock) {
+  if (!ua_.magazines_enabled()) GTEST_SKIP() << "magazines compiled off";
+  void* p = ua_.allocate(64);
+  ASSERT_NE(p, nullptr);
+  ua_.free(p);
+  // The block parks in this thread's arena magazine, bitmap bit still set.
+  EXPECT_EQ(ua_.stats().magazine_cached, 1u);
+  void* q = ua_.allocate(64);
+  EXPECT_EQ(q, p) << "LIFO magazine must return the block just freed";
+  const auto st = ua_.stats();
+  EXPECT_EQ(st.magazine_hits, 1u);
+  EXPECT_EQ(st.magazine_cached, 0u);
+  ua_.free(q);
+  EXPECT_TRUE(ua_.check_consistency());
+}
+
+TEST_F(UAllocTest, MagazineBoundedAndSpills) {
+  if (!ua_.magazines_enabled()) GTEST_SKIP() << "magazines compiled off";
+  // 1 KB class: bin capacity 3, so the magazine caps at 6. Freeing 10
+  // blocks from one host thread parks 6 and spills 4 through the paper's
+  // free path.
+  const std::uint32_t cls = size_class_of(1024);
+  const std::uint32_t cap = magazine_capacity(cls);
+  ASSERT_EQ(cap, 6u);
+  std::vector<void*> ptrs;
+  for (int i = 0; i < 10; ++i) {
+    void* p = ua_.allocate(1024);
+    ASSERT_NE(p, nullptr);
+    ptrs.push_back(p);
+  }
+  for (void* p : ptrs) ua_.free(p);
+  const auto st = ua_.stats();
+  EXPECT_EQ(st.magazine_cached, cap);
+  EXPECT_EQ(st.magazine_spills, 10u - cap);
+  std::uint32_t total = 0;
+  for (std::uint32_t a = 0; a < ua_.num_arenas(); ++a) {
+    total += ua_.arena(a).magazine_count(cls);
+    EXPECT_LE(ua_.arena(a).magazine_count(cls), cap);
+  }
+  EXPECT_EQ(total, cap);
+  EXPECT_TRUE(ua_.check_consistency());  // validates cached-bit integrity
+  EXPECT_EQ(ua_.release_cached(), cap);
+  EXPECT_EQ(ua_.stats().magazine_cached, 0u);
+  EXPECT_TRUE(ua_.check_consistency());
+}
+
+TEST_F(UAllocTest, MagazineAccountingInvariantAfterFlush) {
+  if (!ua_.magazines_enabled()) GTEST_SKIP() << "magazines compiled off";
+  // Every free either spills or parks, and every parked block is later
+  // popped (hit) or flushed: frees - spills == hits + flushes once the
+  // magazines are drained.
+  util::Xorshift rng(11);
+  std::vector<void*> held;
+  for (int i = 0; i < 2000; ++i) {
+    if (!held.empty() && (rng.next() & 1)) {
+      ua_.free(held.back());
+      held.pop_back();
+    } else {
+      const std::size_t size = std::size_t{8} << rng.next_below(8);
+      if (void* p = ua_.allocate(size)) held.push_back(p);
+    }
+  }
+  for (void* p : held) ua_.free(p);
+  ua_.release_cached();
+  const auto st = ua_.stats();
+  EXPECT_EQ(st.magazine_cached, 0u);
+  EXPECT_EQ(st.frees - st.magazine_spills,
+            st.magazine_hits + st.magazine_flushes);
+  EXPECT_TRUE(ua_.check_consistency());
+}
+
+TEST_F(UAllocTest, MagazinesDisabledMatchesPaperPath) {
+  ua_.set_magazines(false);
+  void* p = ua_.allocate(64);
+  ASSERT_NE(p, nullptr);
+  ua_.free(p);
+  const auto st = ua_.stats();
+  EXPECT_EQ(st.magazine_hits, 0u);
+  EXPECT_EQ(st.magazine_misses, 0u);
+  EXPECT_EQ(st.magazine_cached, 0u);
+  // Disabled means the free went straight through publish_free_block, so
+  // the block is claimable again without any flush.
+  EXPECT_EQ(ua_.release_cached(), 0u);
+  EXPECT_TRUE(ua_.check_consistency());
+  ua_.set_magazines(TOMA_UALLOC_MAGAZINES != 0);
+}
+
+TEST_F(UAllocTest, DisablingMagazinesFlushesCachedBlocks) {
+  if (!ua_.magazines_enabled()) GTEST_SKIP() << "magazines compiled off";
+  void* p = ua_.allocate(128);
+  ASSERT_NE(p, nullptr);
+  ua_.free(p);
+  ASSERT_EQ(ua_.stats().magazine_cached, 1u);
+  ua_.set_magazines(false);
+  const auto st = ua_.stats();
+  EXPECT_EQ(st.magazine_cached, 0u);
+  EXPECT_EQ(st.magazine_flushes, 1u);
+  EXPECT_TRUE(ua_.check_consistency());
+  ua_.set_magazines(TOMA_UALLOC_MAGAZINES != 0);
+}
+
+TEST_F(UAllocTest, CrossSmFreeParksInFreeingSmsMagazine) {
+  if (!ua_.magazines_enabled()) GTEST_SKIP() << "magazines compiled off";
+  // Alloc on SM i, free on SM j: the block must land in arena j's
+  // magazine (the freeing SM reuses it locally next), never arena i's.
+  gpu::Device dev(test::small_device(2, 256, 1));
+  std::atomic<void*> handoff{nullptr};
+  std::atomic<int> phase{0};
+  std::atomic<std::uint32_t> alloc_sm{0}, free_sm{0};
+  dev.launch(gpu::Dim3{2}, gpu::Dim3{1}, [&](gpu::ThreadCtx& t) {
+    if (t.block_rank() == 0) {
+      alloc_sm.store(t.sm_id());
+      handoff.store(ua_.allocate(64), std::memory_order_release);
+      phase.store(1, std::memory_order_release);
+    } else {
+      while (phase.load(std::memory_order_acquire) == 0) t.yield();
+      free_sm.store(t.sm_id());
+      void* p = handoff.load(std::memory_order_acquire);
+      ASSERT_NE(p, nullptr);
+      ua_.free(p);
+    }
+  });
+  const std::uint32_t cls = size_class_of(64);
+  const std::uint32_t freeing_arena = free_sm.load() % ua_.num_arenas();
+  EXPECT_EQ(ua_.arena(freeing_arena).magazine_count(cls), 1u);
+  if (alloc_sm.load() % ua_.num_arenas() != freeing_arena) {
+    EXPECT_EQ(
+        ua_.arena(alloc_sm.load() % ua_.num_arenas()).magazine_count(cls),
+        0u);
+  }
+  EXPECT_EQ(ua_.stats().magazine_cached, 1u);
+  EXPECT_TRUE(ua_.check_consistency());
+  EXPECT_EQ(ua_.release_cached(), 1u);
+  EXPECT_TRUE(ua_.check_consistency());
+}
+
+TEST_F(UAllocTest, HostThreadFreeOfDeviceAllocation) {
+  if (!ua_.magazines_enabled()) GTEST_SKIP() << "magazines compiled off";
+  // Device threads allocate; plain OS threads free. The host-side frees
+  // park in hash-chosen arenas and the accounting still closes.
+  gpu::Device dev(test::small_device());
+  constexpr std::uint64_t kThreads = 512;
+  std::vector<std::atomic<void*>> slots(kThreads);
+  dev.launch_linear(kThreads, 64, [&](gpu::ThreadCtx& t) {
+    slots[t.global_rank()].store(ua_.allocate(32));
+  });
+  test::run_os_threads(4, [&](unsigned tid) {
+    for (std::uint64_t i = tid; i < kThreads; i += 4) {
+      if (void* p = slots[i].load()) ua_.free(p);
+    }
+  });
+  const std::uint32_t cls = size_class_of(32);
+  const std::uint32_t cap = magazine_capacity(cls);
+  std::uint64_t cached = 0;
+  for (std::uint32_t a = 0; a < ua_.num_arenas(); ++a) {
+    EXPECT_LE(ua_.arena(a).magazine_count(cls), cap);
+    cached += ua_.arena(a).magazine_count(cls);
+  }
+  const auto st = ua_.stats();
+  EXPECT_EQ(st.magazine_cached, cached);
+  EXPECT_EQ(st.frees, kThreads);
+  EXPECT_EQ(st.magazine_spills, kThreads - cached);
+  EXPECT_TRUE(ua_.check_consistency());
+  ua_.release_cached();
+  EXPECT_EQ(ua_.stats().magazine_cached, 0u);
+  EXPECT_TRUE(ua_.check_consistency());
+}
+
+TEST_F(UAllocTest, CoalescedWarpDrawsFromMagazineFirst) {
+  if (!ua_.magazines_enabled()) GTEST_SKIP() << "magazines compiled off";
+  // Churn a full warp through alloc/free twice: round two's allocations
+  // should be satisfied by the magazines the round-one frees filled, so
+  // lanes peel off before the coalescing rendezvous.
+  gpu::Device dev(test::small_device());
+  dev.launch_linear(2048, 128, [&](gpu::ThreadCtx& t) {
+    for (int round = 0; round < 4; ++round) {
+      void* p = ua_.allocate(64);
+      ASSERT_NE(p, nullptr);
+      std::memset(p, 0xA5, 64);
+      t.yield();
+      ua_.free(p);
+    }
+  });
+  const auto st = ua_.stats();
+  EXPECT_GT(st.magazine_hits, 0u);
+  EXPECT_TRUE(ua_.check_consistency());
+  ua_.release_cached();
+  EXPECT_TRUE(ua_.check_consistency());
+}
+
+TEST_F(UAllocTest, TrimFlushesMagazines) {
+  if (!ua_.magazines_enabled()) GTEST_SKIP() << "magazines compiled off";
+  const std::size_t before = buddy_.free_bytes();
+  std::vector<void*> ptrs;
+  for (int i = 0; i < 200; ++i) {
+    void* p = ua_.allocate(256);
+    ASSERT_NE(p, nullptr);
+    ptrs.push_back(p);
+  }
+  for (void* p : ptrs) ua_.free(p);
+  EXPECT_GT(ua_.stats().magazine_cached, 0u);
+  // trim() must flush the magazines first or cached blocks pin their bins
+  // (and chunks) forever.
+  ua_.trim();
+  EXPECT_EQ(ua_.stats().magazine_cached, 0u);
+  EXPECT_EQ(buddy_.free_bytes(), before);
+  EXPECT_TRUE(ua_.check_consistency());
+}
+
 }  // namespace
 }  // namespace toma::alloc

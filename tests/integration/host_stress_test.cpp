@@ -1,0 +1,146 @@
+// OS-thread-only allocator stress. Unlike stress_test.cpp this file never
+// constructs a gpu::Device: the simulator's hand-rolled fiber context
+// switching is invisible to ThreadSanitizer (it cannot track stack swaps),
+// so this binary is the one the TSan CI job runs. Everything here executes
+// on plain std::threads via the allocator's host fallback paths (arena
+// selection by thread-id hash), which share all the concurrency machinery
+// — semaphores, RCU lists, parked units, magazines — with the device path.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstring>
+#include <thread>
+#include <vector>
+
+#include "alloc/alloc.hpp"
+#include "support/test_support.hpp"
+#include "util/prng.hpp"
+
+namespace toma {
+namespace {
+
+TEST(HostStress, MixedSizeChurn) {
+  alloc::GpuAllocator ga(32 * 1024 * 1024, /*num_arenas=*/4);
+  test::run_os_threads(8, [&](unsigned tid) {
+    util::Xorshift rng(tid * 7919 + 1);
+    void* held[4] = {};
+    std::size_t sizes[4] = {};
+    for (int i = 0; i < 4000; ++i) {
+      const int slot = static_cast<int>(rng.next_below(4));
+      if (held[slot] != nullptr) {
+        auto* c = static_cast<unsigned char*>(held[slot]);
+        ASSERT_EQ(c[0], 0x42);
+        ASSERT_EQ(c[sizes[slot] - 1], 0x24);
+        ga.free(held[slot]);
+        held[slot] = nullptr;
+      }
+      const std::size_t size = std::size_t{8} << rng.next_below(11);  // ..8KB
+      void* p = ga.malloc(size);
+      if (p != nullptr) {
+        auto* c = static_cast<unsigned char*>(p);
+        c[0] = 0x42;
+        c[size - 1] = 0x24;
+        held[slot] = p;
+        sizes[slot] = size;
+      }
+    }
+    for (void* p : held) {
+      if (p != nullptr) ga.free(p);
+    }
+  });
+  EXPECT_TRUE(ga.check_consistency());
+  ga.trim();
+  EXPECT_EQ(ga.buddy().largest_free_block(), ga.pool_bytes());
+  const auto st = ga.stats();
+  EXPECT_EQ(st.mallocs, st.frees + st.failed_mallocs);
+}
+
+TEST(HostStress, CrossThreadFreeMailboxes) {
+  // Producer threads allocate and publish; consumer threads free blocks
+  // they never allocated. Every free lands in the *freeing* thread's
+  // hash-chosen arena magazine (or spills), exercising the cross-owner
+  // paths: chunk-header decode, remote bin publication, magazine bounds.
+  alloc::GpuAllocator ga(32 * 1024 * 1024, /*num_arenas=*/4);
+  constexpr unsigned kPairs = 4;
+  constexpr int kPerThread = 3000;
+  struct Mailbox {
+    std::vector<std::atomic<void*>> slots{kPerThread};
+    std::atomic<int> produced{0};
+  };
+  std::vector<Mailbox> boxes(kPairs);
+
+  test::run_os_threads(2 * kPairs, [&](unsigned tid) {
+    util::Xorshift rng(tid * 31 + 5);
+    if (tid < kPairs) {  // producer
+      Mailbox& box = boxes[tid];
+      for (int i = 0; i < kPerThread; ++i) {
+        const std::size_t size = std::size_t{8} << rng.next_below(8);
+        void* p = ga.malloc(size);
+        if (p != nullptr) std::memset(p, 0x6B, size);
+        box.slots[i].store(p, std::memory_order_release);
+        box.produced.fetch_add(1, std::memory_order_release);
+      }
+    } else {  // consumer for producer tid - kPairs
+      Mailbox& box = boxes[tid - kPairs];
+      for (int i = 0; i < kPerThread; ++i) {
+        while (box.produced.load(std::memory_order_acquire) <= i) {
+          std::this_thread::yield();
+        }
+        if (void* p = box.slots[i].exchange(nullptr)) ga.free(p);
+      }
+    }
+  });
+
+  EXPECT_TRUE(ga.check_consistency());  // includes magazine-bit integrity
+  const auto st = ga.stats();
+  EXPECT_EQ(st.mallocs, st.frees + st.failed_mallocs);
+  if (ga.ualloc().magazines_enabled()) {
+    const std::size_t flushed = ga.release_cached();
+    const auto after = ga.stats().ualloc;
+    EXPECT_EQ(after.magazine_cached, 0u);
+    EXPECT_EQ(after.magazine_flushes,
+              st.ualloc.magazine_flushes + flushed);
+    EXPECT_EQ(after.frees - after.magazine_spills,
+              after.magazine_hits + after.magazine_flushes);
+  }
+  ga.trim();
+  EXPECT_EQ(ga.buddy().largest_free_block(), ga.pool_bytes());
+}
+
+TEST(HostStress, MagazineToggleRace) {
+  // Flip the magazine switch while other threads churn: the toggle only
+  // gates *entry* into the cache, so every configuration interleaving must
+  // keep the accounting closed and the structures consistent.
+  alloc::GpuAllocator ga(16 * 1024 * 1024, /*num_arenas=*/2);
+  std::atomic<bool> stop{false};
+  test::run_os_threads(5, [&](unsigned tid) {
+    if (tid == 0) {  // toggler
+      for (int i = 0; i < 200; ++i) {
+        ga.ualloc().set_magazines(i % 2 == 0);
+        std::this_thread::yield();
+      }
+      ga.ualloc().set_magazines(true);
+      stop.store(true, std::memory_order_release);
+      return;
+    }
+    util::Xorshift rng(tid);
+    std::vector<void*> held;
+    while (!stop.load(std::memory_order_acquire)) {
+      if (!held.empty() && (rng.next() & 1)) {
+        ga.free(held.back());
+        held.pop_back();
+      } else {
+        const std::size_t size = std::size_t{8} << rng.next_below(8);
+        if (void* p = ga.malloc(size)) held.push_back(p);
+      }
+    }
+    for (void* p : held) ga.free(p);
+  });
+  EXPECT_TRUE(ga.check_consistency());
+  ga.trim();
+  EXPECT_EQ(ga.buddy().largest_free_block(), ga.pool_bytes());
+  EXPECT_TRUE(ga.check_consistency());
+}
+
+}  // namespace
+}  // namespace toma

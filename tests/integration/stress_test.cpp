@@ -65,6 +65,17 @@ TEST(Stress, ManyWavesMixedSizes) {
   const auto st = ga.stats();
   EXPECT_EQ(st.mallocs, st.frees + st.failed_mallocs);
 
+  if (ga.ualloc().magazines_enabled()) {
+    // trim() flushed the magazines, so every UAlloc free is now accounted
+    // for: it either spilled past a full magazine, was re-issued by a pop
+    // (hit), or was evicted by the flush. Nothing may still be cached.
+    const auto& us = st.ualloc;
+    EXPECT_EQ(us.magazine_cached, 0u);
+    EXPECT_EQ(us.frees - us.magazine_spills,
+              us.magazine_hits + us.magazine_flushes)
+        << "magazine accounting leaked a block";
+  }
+
 #if TOMA_TELEMETRY
   // Telemetry invariant: the sharded counters must agree exactly with the
   // allocator's own (exact, atomic) statistics — a lost counter bump means
@@ -80,6 +91,10 @@ TEST(Stress, ManyWavesMixedSizes) {
   EXPECT_EQ(ctr("alloc.malloc"), st.mallocs);
   EXPECT_EQ(ctr("alloc.free"), st.frees);
   EXPECT_EQ(ctr("alloc.failed"), st.failed_mallocs);
+  EXPECT_EQ(ctr("ualloc.magazine.hit"), st.ualloc.magazine_hits);
+  EXPECT_EQ(ctr("ualloc.magazine.miss"), st.ualloc.magazine_misses);
+  EXPECT_EQ(ctr("ualloc.magazine.spill"), st.ualloc.magazine_spills);
+  EXPECT_EQ(ctr("ualloc.magazine.flush"), st.ualloc.magazine_flushes);
   // Every malloc attempt records one latency sample in some size class.
   std::uint64_t hist_samples = 0;
   for (const auto& [name, h] : obs_delta.histograms) {

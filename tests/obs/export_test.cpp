@@ -103,6 +103,32 @@ TEST(SnapshotExport, JsonGolden) {
   EXPECT_NE(json.find("\"buckets\":[1,0,0,2]"), std::string::npos);
 }
 
+TEST(SnapshotExport, DerivedHitRates) {
+  Registry r;
+  r.counter("cache.hit").add(3);
+  r.counter("cache.miss").add(1);
+  r.counter("lonely.hit").add(5);      // no .miss partner: no rate
+  r.counter("other_hit").add(7);       // '_hit' suffix does not pair
+  r.counter("cold.hit").add(0);        // hit+miss == 0: no rate
+  r.counter("cold.miss").add(0);
+  const Snapshot s = r.snapshot();
+
+  const auto rates = s.derived_rates();
+  ASSERT_EQ(rates.size(), 1u);
+  EXPECT_DOUBLE_EQ(rates.at("cache.hit_rate"), 0.75);
+
+  const std::string json = s.to_json();
+  EXPECT_TRUE(json_shape_ok(json)) << json;
+  EXPECT_NE(json.find("\"derived\":{"), std::string::npos);
+  EXPECT_NE(json.find("\"cache.hit_rate\":0.75"), std::string::npos);
+  // Raw counters stay integral alongside the derived section.
+  EXPECT_NE(json.find("\"cache.hit\":3"), std::string::npos);
+
+  const std::string text = s.to_text();
+  EXPECT_NE(text.find("cache.hit_rate"), std::string::npos);
+  EXPECT_NE(text.find("75.00%"), std::string::npos);
+}
+
 TEST(SnapshotExport, WriteJsonRoundTripsThroughDisk) {
   Registry r;
   r.counter("disk.count").add(9);
