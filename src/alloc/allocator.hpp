@@ -72,9 +72,15 @@ class GpuAllocator {
   UAlloc& ualloc() { return *ualloc_; }
 
   /// Scavenge cached-but-empty UAlloc bins/chunks back into the buddy
-  /// pool (malloc_trim analogue); flushes the magazines first. Returns
-  /// chunks released.
-  std::size_t trim() { return ualloc_->trim(); }
+  /// pool (malloc_trim analogue); flushes the magazines first, then the
+  /// TBuddy quicklists — UAlloc's retired chunks land in the order-6
+  /// quicklist, so the buddy flush must run second for those chunks to
+  /// coalesce back into maximal blocks. Returns chunks released.
+  std::size_t trim() {
+    const std::size_t chunks = ualloc_->trim();
+    buddy_->trim();
+    return chunks;
+  }
 
   /// Flush the UAlloc magazines only (cached blocks re-enter the bin
   /// accounting; no chunk is returned to the buddy). Returns blocks

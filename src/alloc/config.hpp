@@ -100,6 +100,52 @@ constexpr std::uint32_t magazine_capacity(std::uint32_t cls) {
   return kMagazineBinFactor * bin_capacity(cls);
 }
 
+// --- TBuddy quicklist front-end (not in the paper; docs/INTERNALS.md §4c) --
+//
+// Each TBuddy order keeps a bounded Treiber stack of recently freed blocks
+// whose tree nodes stay *Busy* and whose semaphore units stay consumed, so
+// the invariant "semaphore value == Available blocks in the tree" never
+// sees cached blocks at all. Free pushes instead of cascading merges
+// (deferred coalescing); allocate pops before touching the semaphore or
+// the tree. Merges run only when the per-order high-water mark is hit or
+// when trim()/pool pressure demands the memory back.
+
+/// Compile-time default for the TBuddy quicklist (CMake option
+/// TOMA_TBUDDY_QUICKLIST, default ON). TBuddy::set_quicklist() toggles at
+/// runtime; this macro only selects the starting state, so a
+/// quicklist-OFF build still compiles (and tests) the machinery.
+#ifndef TOMA_TBUDDY_QUICKLIST
+#define TOMA_TBUDDY_QUICKLIST 1
+#endif
+
+/// Compile-time default for the optimistic single-CAS descent claim
+/// (CMake option TOMA_TBUDDY_CAS_CLAIM, default ON).
+/// TBuddy::set_cas_claim() toggles at runtime.
+#ifndef TOMA_TBUDDY_CAS_CLAIM
+#define TOMA_TBUDDY_CAS_CLAIM 1
+#endif
+
+/// High-water mark (cached-block cap) of one per-order quicklist. A flat
+/// cap would let large orders strand megabytes, so the cap also shrinks
+/// with the share of the pool one order can hold: at most half the blocks
+/// that exist at that order. The root order caps at 0 — caching the whole
+/// pool would pin every byte while reporting nothing allocatable.
+inline constexpr std::uint32_t kQuicklistHighWater = 32;
+
+constexpr std::uint32_t quicklist_capacity(std::uint32_t order,
+                                           std::uint32_t max_order) {
+  const std::uint32_t blocks_at_order = 1u << (max_order - order);
+  const std::uint32_t half = blocks_at_order / 2;
+  return half < kQuicklistHighWater ? half : kQuicklistHighWater;
+}
+
+/// Hysteresis: a spill (push on a full quicklist) flushes the list down to
+/// the low-water mark through the real free path, so one crossing of the
+/// high-water mark buys cap/2 further O(1) frees before the next flush.
+constexpr std::uint32_t quicklist_low_water(std::uint32_t cap) {
+  return cap / 2;
+}
+
 static_assert(kChunkSize / kPageSize == (1u << kChunkOrder));
 static_assert(kBinsPerChunk == 64, "one 64-bit word tracks the chunk bins");
 static_assert(kDataBins == 62, "two header bins leave 62 data bins");

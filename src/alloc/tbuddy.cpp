@@ -37,6 +37,14 @@ TBuddy::TBuddy(void* pool, std::size_t pool_bytes, std::size_t page_size)
   for (std::uint32_t h = 0; h <= max_order_; ++h) {
     sems_.push_back(std::make_unique<sync::BulkSemaphore>(0));
   }
+  quicklists_ = std::make_unique<sync::TreiberStack[]>(max_order_ + 1);
+  for (std::uint32_t h = 0; h <= max_order_; ++h) {
+    quicklists_[h].set_capacity(quicklist_capacity(h, max_order_));
+  }
+  // Successor links for the quicklists; slots are written before first
+  // use, so no initialization pass over the array is needed.
+  ql_links_ =
+      std::make_unique<std::atomic<std::uint32_t>[]>(node_count());
   // Initially the whole pool is one available block at the root.
   node_state_[1] = kAvailable;
   sems_[max_order_]->signal(1, 0);
@@ -104,8 +112,11 @@ TBuddy::State TBuddy::derive(std::uint32_t i) const {
 
 void TBuddy::fixup_from(std::uint32_t i) {
   // Recompute ancestors hand-over-hand. Holding a node's lock freezes its
-  // children (every child transition locks the parent), so derive() under
-  // the lock reads a stable snapshot.
+  // children for every *locked* transition (those lock the parent). The
+  // one exception is the optimistic CAS claim, which flips a child
+  // Available->Busy without the parent lock — but every successful CAS is
+  // followed by its own fixup_from(parent), which serializes behind any
+  // in-flight derive here and corrects a stale Partial.
   while (i >= 1) {
     const std::uint32_t p = parent_of(i);  // 0 when i is the root
     if (p != 0) lock_node(p);
@@ -148,6 +159,40 @@ bool TBuddy::try_claim(std::uint32_t i) {
   return ok;
 }
 
+bool TBuddy::claim_candidate(std::uint32_t i) {
+  // Optimistic claim: one CAS on the node byte, expecting exactly
+  // "Available, unlocked". Any locked protocol currently touching the
+  // node (a merge check, a fixup, another claim) holds the lock bit, so
+  // the CAS fails on *any* concurrent transition and we fall back to the
+  // ordinary (parent, node) lock protocol. The other direction is covered
+  // by the lock holders re-checking the node's state after locking it
+  // (free_block re-verifies the buddy is still Available before merging).
+  //
+  // The parent still gets its locked recomputation: fixup_from(parent)
+  // serializes behind any in-flight derive under the parent lock, so a
+  // derive that read the stale Available is corrected by our later fixup,
+  // and a derive that locks the parent after our fixup released it
+  // observes the CAS'd Busy (lock acquire/release ordering).
+  if (cas_claim_enabled()) {
+    std::atomic_ref<std::uint8_t> b(node_state_[i]);
+    std::uint8_t expected = kAvailable;
+    if (b.compare_exchange_strong(expected, kBusy,
+                                  std::memory_order_acq_rel,
+                                  std::memory_order_relaxed)) {
+      st_cas_claims_.fetch_add(1, std::memory_order_relaxed);
+      TOMA_CTR_INC("tbuddy.claim.cas_fast");
+      if (i > 1) fixup_from(parent_of(i));
+      return true;
+    }
+  }
+  const bool ok = try_claim(i);
+  if (ok) {
+    st_lock_claims_.fetch_add(1, std::memory_order_relaxed);
+    TOMA_CTR_INC("tbuddy.claim.lock_slow");
+  }
+  return ok;
+}
+
 std::uint32_t TBuddy::find_and_claim(std::uint32_t order) {
   sync::Backoff bo;
   auto& rng = gpu::this_thread::rng();
@@ -155,7 +200,7 @@ std::uint32_t TBuddy::find_and_claim(std::uint32_t order) {
     std::uint32_t i = 1;
     std::uint32_t h = max_order_;
     if (h == order) {
-      if (try_claim(1)) return 1;
+      if (claim_candidate(1)) return 1;
       st_retries_.fetch_add(1, std::memory_order_relaxed);
       TOMA_CTR_INC("tbuddy.descent_retry");
       bo.pause();
@@ -176,7 +221,7 @@ std::uint32_t TBuddy::find_and_claim(std::uint32_t order) {
       for (const std::uint32_t c : {first, second}) {
         const State s = state_of(c);
         if (ch == order) {
-          if (s == kAvailable && try_claim(c)) return c;
+          if (s == kAvailable && claim_candidate(c)) return c;
         } else if (s == kPartial) {
           i = c;
           h = ch;
@@ -192,12 +237,62 @@ std::uint32_t TBuddy::find_and_claim(std::uint32_t order) {
   }
 }
 
+void TBuddy::record_allocation(void* p, std::uint32_t order) {
+  const std::size_t page =
+      (static_cast<const char*>(p) - static_cast<const char*>(pool_)) /
+      page_size_;
+  std::atomic_ref<std::uint8_t> rec(order_of_page_[page]);
+  TOMA_DASSERT(rec.load(std::memory_order_relaxed) == kNoAllocation);
+  rec.store(static_cast<std::uint8_t>(order), std::memory_order_release);
+}
+
+void* TBuddy::quicklist_pop(std::uint32_t order) {
+  const std::uint32_t node = quicklists_[order].try_pop(ql_links_.get());
+  if (node == sync::TreiberStack::kNil) {
+    st_ql_misses_.fetch_add(1, std::memory_order_relaxed);
+    TOMA_CTR_INC("tbuddy.quicklist.miss");
+    return nullptr;
+  }
+  // The node stayed Busy (and its semaphore unit consumed) the whole time
+  // it was cached, so handing it out is pure bookkeeping: no semaphore,
+  // no descent, no locks.
+  st_ql_hits_.fetch_add(1, std::memory_order_relaxed);
+  st_allocs_.fetch_add(1, std::memory_order_relaxed);
+  TOMA_CTR_INC("tbuddy.quicklist.hit");
+  void* p = node_addr(node);
+  record_allocation(p, order);
+  return p;
+}
+
 void* TBuddy::allocate(std::uint32_t order) {
   if (order > max_order_) {
     st_failed_.fetch_add(1, std::memory_order_relaxed);
     return nullptr;
   }
+  if (quicklist_enabled()) {
+    if (void* p = quicklist_pop(order)) return p;
+  }
+  for (;;) {
+    void* p = allocate_from_tree(order);
+    if (p != nullptr) return p;
+    // Pool pressure: the tree is exhausted at this order, but deferred
+    // coalescing may be sitting on mergeable blocks. Flush everything
+    // through the real free path and re-decide; a zero-block flush proves
+    // true exhaustion. (Recursive growers flush at the deepest failing
+    // level first; by the time the failure propagates here the lists are
+    // usually already drained and this loop exits on its first retry.)
+    if (flush_quicklists() == 0) {
+      st_failed_.fetch_add(1, std::memory_order_relaxed);
+      return nullptr;
+    }
+    TOMA_CTR_INC("tbuddy.quicklist.pressure_flush");
+    if (quicklist_enabled()) {
+      if (void* p2 = quicklist_pop(order)) return p2;
+    }
+  }
+}
 
+void* TBuddy::allocate_from_tree(std::uint32_t order) {
   // Per-order semaphore outcome: kAcquired means a block of this order is
   // (or will be) claimable; kMustGrow makes us the splitter one order up.
   [[maybe_unused]] const std::uint64_t wait_t0 = TOMA_NOW_NS();
@@ -208,28 +303,23 @@ void* TBuddy::allocate(std::uint32_t order) {
     const std::uint32_t node = find_and_claim(order);
     st_allocs_.fetch_add(1, std::memory_order_relaxed);
     void* p = node_addr(node);
-    const std::size_t page =
-        (static_cast<const char*>(p) - static_cast<const char*>(pool_)) /
-        page_size_;
-    std::atomic_ref<std::uint8_t> rec(order_of_page_[page]);
-    TOMA_DASSERT(rec.load(std::memory_order_relaxed) == kNoAllocation);
-    rec.store(static_cast<std::uint8_t>(order), std::memory_order_release);
+    record_allocation(p, order);
     return p;
   }
 
   // kMustGrow: produce a batch of two order-n blocks by splitting an
-  // order-(n+1) block; keep one, publish the other.
+  // order-(n+1) block; keep one, publish the other. The recursive call
+  // goes through allocate(), so the parent order's quicklist (and, on
+  // failure, the pressure flush) serve the split too.
   TOMA_CTRV_INC("tbuddy.sem_grow", 24, order);
   TOMA_TRACE("tbuddy.grow", order);
   if (order == max_order_) {
     sems_[order]->signal(0, 1);  // cannot grow past the root: true OOM
-    st_failed_.fetch_add(1, std::memory_order_relaxed);
     return nullptr;
   }
   void* parent_mem = allocate(order + 1);
   if (parent_mem == nullptr) {
     sems_[order]->signal(0, 1);  // growth failed; let waiters re-decide
-    st_failed_.fetch_add(1, std::memory_order_relaxed);
     return nullptr;
   }
   // Un-register the parent allocation record; it is being split, not used.
@@ -300,7 +390,46 @@ void TBuddy::free(void* p) {
                   "double free or foreign pointer passed to TBuddy");
   rec.store(kNoAllocation, std::memory_order_release);
   st_frees_.fetch_add(1, std::memory_order_relaxed);
-  free_block(node_at(p, order), order);
+  const std::uint32_t node = node_at(p, order);
+  if (quicklist_enabled() && quicklists_[order].capacity() != 0) {
+    // Deferred coalescing: park the block instead of cascading merges.
+    // The node stays Busy and its semaphore unit stays consumed, so the
+    // accounting still sees it as allocated (invariant preserved).
+    if (quicklists_[order].try_push(ql_links_.get(), node)) return;
+    // High-water overflow: flush down to the low-water mark so this
+    // crossing buys cap/2 further O(1) frees before the next flush.
+    st_ql_spills_.fetch_add(1, std::memory_order_relaxed);
+    TOMA_CTR_INC("tbuddy.quicklist.spill");
+    flush_quicklist(order,
+                    quicklist_low_water(quicklists_[order].capacity()));
+  }
+  free_block(node, order);
+}
+
+std::size_t TBuddy::flush_quicklist(std::uint32_t order,
+                                    std::uint32_t target) {
+  std::size_t flushed = 0;
+  while (quicklists_[order].count() > target) {
+    const std::uint32_t node = quicklists_[order].try_pop(ql_links_.get());
+    if (node == sync::TreiberStack::kNil) break;  // racing flusher drained it
+    free_block(node, order);
+    ++flushed;
+  }
+  if (flushed != 0) {
+    st_ql_flushes_.fetch_add(flushed, std::memory_order_relaxed);
+    TOMA_CTR_ADD("tbuddy.quicklist.flush", flushed);
+  }
+  return flushed;
+}
+
+std::size_t TBuddy::flush_quicklists() {
+  // Low orders first: their merges cascade upward and may want to consume
+  // blocks the higher-order flush iterations then no longer need to free.
+  std::size_t total = 0;
+  for (std::uint32_t h = 0; h <= max_order_; ++h) {
+    total += flush_quicklist(h, 0);
+  }
+  return total;
 }
 
 std::size_t TBuddy::allocation_size(const void* p) const {
@@ -348,14 +477,13 @@ void TBuddy::free_block(std::uint32_t i, std::uint32_t order) {
 
     if (!merged) {
       // Release i as Available — but never publish "both siblings
-      // Available" (tree property 1). Under the parent lock the buddy's
-      // state is frozen; if it is Available we must merge instead, which
-      // requires consuming its accounting unit. That unit may be
-      // transiently absent (its releaser signals under this same parent
-      // lock, so normally it is visible — but a third-party merge attempt
-      // elsewhere can briefly borrow units via try_wait). In that case we
-      // back off and re-decide: either the unit returns (we merge) or a
-      // claimer takes the buddy (we release plain).
+      // Available" (tree property 1). If the buddy is Available we must
+      // merge instead, which requires consuming its accounting unit. That
+      // unit may be transiently absent (its releaser signals under this
+      // same parent lock, so normally it is visible — but a third-party
+      // merge attempt elsewhere can briefly borrow units via try_wait).
+      // In that case we back off and re-decide: either the unit returns
+      // (we merge) or a claimer takes the buddy (we release plain).
       for (;;) {
         lock_node(p);
         lock_node(i);
@@ -367,6 +495,20 @@ void TBuddy::free_block(std::uint32_t i, std::uint32_t order) {
             // holder of b either needed p first (we have it) or is a
             // (b, child-of-b) pair that never waits on p or i.
             lock_node(b);
+            // Re-check under b's own lock: the optimistic descent claim
+            // (claim_candidate) flips Available->Busy with a bare CAS,
+            // without taking the parent lock, so the read above can be
+            // stale. If a claimer won b, return the borrowed unit and
+            // re-decide.
+            if ((bb.load(std::memory_order_relaxed) & kStateMask) !=
+                kAvailable) {
+              unlock_node(b);
+              sems_[order]->signal(1, 0);
+              unlock_node(i);
+              unlock_node(p);
+              gpu::this_thread::yield();
+              continue;
+            }
             set_state_locked(b, kBusy);
             unlock_node(b);
             unlock_node(i);  // i stays Busy: we own the merged pair
@@ -436,6 +578,15 @@ TBuddyStats TBuddy::stats() const {
   s.merges = st_merges_.load(std::memory_order_relaxed);
   s.failed_allocs = st_failed_.load(std::memory_order_relaxed);
   s.descent_retries = st_retries_.load(std::memory_order_relaxed);
+  s.quicklist_hits = st_ql_hits_.load(std::memory_order_relaxed);
+  s.quicklist_misses = st_ql_misses_.load(std::memory_order_relaxed);
+  s.quicklist_spills = st_ql_spills_.load(std::memory_order_relaxed);
+  s.quicklist_flushes = st_ql_flushes_.load(std::memory_order_relaxed);
+  for (std::uint32_t h = 0; h <= max_order_; ++h) {
+    s.quicklist_cached += quicklists_[h].count();
+  }
+  s.cas_claims = st_cas_claims_.load(std::memory_order_relaxed);
+  s.lock_claims = st_lock_claims_.load(std::memory_order_relaxed);
   return s;
 }
 
@@ -503,6 +654,45 @@ bool TBuddy::check_consistency() const {
     const auto s = static_cast<State>(node_state_[node] & kStateMask);
     if (s != kBusy) fail("allocated node not busy", node);
     if (has_avail[node]) fail("allocated node with available descendant", node);
+  }
+
+  // Quicklists: every cached block must be a Busy, unlocked node of the
+  // list's order with a fully-Busy subtree and no allocation record — to
+  // the tree and the semaphores a cached block is indistinguishable from
+  // an allocated one.
+  for (std::uint32_t h = 0; h <= max_order_; ++h) {
+    std::uint64_t walked = 0;
+    for (std::uint32_t node = quicklists_[h].peek();
+         node != sync::TreiberStack::kNil;
+         node = ql_links_[node].load(std::memory_order_relaxed)) {
+      ++walked;
+      if (height_of(node) != h) fail("quicklisted node at wrong order", node);
+      if (node_state_[node] & kLockBit) fail("quicklisted node locked", node);
+      if ((node_state_[node] & kStateMask) != kBusy) {
+        fail("quicklisted node not busy", node);
+      }
+      if (has_avail[node]) {
+        fail("quicklisted node with available descendant", node);
+      }
+      const std::size_t page =
+          (static_cast<const char*>(node_addr(node)) -
+           static_cast<const char*>(pool_)) /
+          page_size_;
+      if (order_of_page_[page] != kNoAllocation) {
+        fail("quicklisted node still recorded as allocated", node);
+      }
+      if (walked > quicklists_[h].capacity()) {
+        fail("quicklist longer than its capacity (cycle?)", node);
+        break;
+      }
+    }
+    if (walked != quicklists_[h].count()) {
+      std::fprintf(stderr,
+                   "TBuddy inconsistency: order %u quicklist count %u but "
+                   "%" PRIu64 " nodes walked\n",
+                   h, quicklists_[h].count(), walked);
+      ok = false;
+    }
   }
 
   return ok;

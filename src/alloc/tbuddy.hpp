@@ -31,6 +31,24 @@
 // try_wait on the order's semaphore proves the merge cannot proceed.
 // Merges cascade upward, re-forming maximal blocks.
 //
+// Two fast paths sit in front of that machinery (not in the paper; see
+// docs/INTERNALS.md §4c):
+//
+//   * A bounded per-order *quicklist* (lock-free Treiber stack) of
+//     recently freed blocks. A quicklisted block keeps its node *Busy*
+//     and its semaphore unit consumed — to the accounting it is still
+//     allocated — so allocate() can pop it in O(1) without touching the
+//     semaphore or the tree, and free() can push it without cascading
+//     merges (deferred coalescing). Coalescing runs with hysteresis: a
+//     push over the high-water mark flushes the list to its low-water
+//     mark through the real free path, trim() flushes everything, and a
+//     failed grow (pool pressure) flushes everything and retries.
+//   * An *optimistic claim*: the scattered descent first tries a single
+//     CAS Available->Busy on the candidate node (the lock bit makes the
+//     CAS fail whenever a locked protocol holds the node), falling back
+//     to the (parent, node) lock protocol on contention. Parent-state
+//     recomputation still runs through the ordinary locked fixup.
+//
 // TBuddy results are always aligned to the block size (hence at least
 // page-aligned) — the property the top-level allocator uses to route
 // free() calls without a shared ownership table.
@@ -42,7 +60,9 @@
 #include <memory>
 #include <vector>
 
+#include "alloc/config.hpp"
 #include "sync/bulk_semaphore.hpp"
+#include "sync/treiber_stack.hpp"
 #include "util/assert.hpp"
 
 namespace toma::alloc {
@@ -55,6 +75,14 @@ struct TBuddyStats {
   std::uint64_t merges = 0;
   std::uint64_t failed_allocs = 0;
   std::uint64_t descent_retries = 0;
+  std::uint64_t quicklist_hits = 0;     // allocations served by a quicklist
+  std::uint64_t quicklist_misses = 0;   // pops on an empty quicklist
+  std::uint64_t quicklist_spills = 0;   // frees over the high-water mark
+  std::uint64_t quicklist_flushes = 0;  // cached blocks pushed through the
+                                        // real free path (spill/trim/pressure)
+  std::uint64_t quicklist_cached = 0;   // blocks cached right now
+  std::uint64_t cas_claims = 0;         // descent claims won by the fast CAS
+  std::uint64_t lock_claims = 0;        // ...that took the (parent,node) locks
 };
 
 class TBuddy {
@@ -81,6 +109,39 @@ class TBuddy {
   /// Byte size of the live allocation starting at `p` (asserts that `p`
   /// is a live TBuddy allocation).
   std::size_t allocation_size(const void* p) const;
+
+  /// Runtime knob for the per-order quicklist front-end (default is the
+  /// compile-time TOMA_TBUDDY_QUICKLIST). Turning it off flushes every
+  /// cached block through the real free path, so the paper-faithful
+  /// configuration is reachable at any quiescent point.
+  void set_quicklist(bool on) {
+    quicklist_on_.store(on, std::memory_order_relaxed);
+    if (!on) flush_quicklists();
+  }
+  bool quicklist_enabled() const {
+    return quicklist_on_.load(std::memory_order_relaxed);
+  }
+
+  /// Runtime knob for the optimistic single-CAS descent claim (default is
+  /// the compile-time TOMA_TBUDDY_CAS_CLAIM).
+  void set_cas_claim(bool on) {
+    cas_claim_on_.store(on, std::memory_order_relaxed);
+  }
+  bool cas_claim_enabled() const {
+    return cas_claim_on_.load(std::memory_order_relaxed);
+  }
+
+  /// Flush every quicklist: cached blocks re-enter the tree through the
+  /// merging free path, re-forming maximal blocks. Returns blocks flushed.
+  /// Safe to call concurrently with allocation. GpuAllocator::trim() calls
+  /// this after UAlloc's scavenge so returned chunks coalesce too.
+  std::size_t trim() { return flush_quicklists(); }
+
+  /// Blocks currently cached in the quicklist of `order` (tests, stats).
+  std::uint32_t quicklist_count(std::uint32_t order) const {
+    TOMA_ASSERT(order <= max_order_);
+    return quicklists_[order].count();
+  }
 
   /// Ablation knob (bench/abl_tbuddy_scatter): disable the randomized
   /// descent so every thread probes the tree leftmost-first, reproducing
@@ -157,6 +218,10 @@ class TBuddy {
 
   /// Claim an Available node (-> Busy) under (parent, node) locks.
   bool try_claim(std::uint32_t i);
+  /// Descent claim: optimistic CAS Available->Busy first (when enabled),
+  /// falling back to try_claim. On success the parent is recomputed
+  /// through the ordinary locked fixup either way.
+  bool claim_candidate(std::uint32_t i);
   /// Release an owned node (-> Available) under locks; returns true if the
   /// release instead merged with an Available sibling (both -> parent).
   void release_node(std::uint32_t i);
@@ -167,6 +232,24 @@ class TBuddy {
 
   /// Free-side merge cascade; consumes ownership of node `i` at `order`.
   void free_block(std::uint32_t i, std::uint32_t order);
+
+  /// The tree path of allocate(): semaphore wait, descent claim or
+  /// recursive split. nullptr on exhaustion (failure stats are counted by
+  /// the caller, which may flush the quicklists and retry).
+  void* allocate_from_tree(std::uint32_t order);
+
+  /// Record/clear the per-page allocation order for a block base.
+  void record_allocation(void* p, std::uint32_t order);
+
+  /// Pop the quicklist of `order`; nullptr on empty (counts hit/miss).
+  void* quicklist_pop(std::uint32_t order);
+
+  /// Flush the quicklist of `order` down to `target` cached blocks through
+  /// the merging free path. Returns blocks flushed.
+  std::size_t flush_quicklist(std::uint32_t order, std::uint32_t target);
+
+  /// Flush every quicklist completely. Returns blocks flushed.
+  std::size_t flush_quicklists();
 
   void* pool_;
   std::size_t pool_bytes_;
@@ -179,12 +262,26 @@ class TBuddy {
   std::vector<std::uint8_t> order_of_page_;    // 0xFF = no allocation start
   std::vector<std::unique_ptr<sync::BulkSemaphore>> sems_;  // per order
 
+  // Quicklist front-end: one bounded Treiber stack per order, all linking
+  // through one shared per-node successor array (a node index is unique
+  // across orders, so each node lives in at most one stack).
+  std::atomic<bool> quicklist_on_{TOMA_TBUDDY_QUICKLIST != 0};
+  std::atomic<bool> cas_claim_on_{TOMA_TBUDDY_CAS_CLAIM != 0};
+  std::unique_ptr<sync::TreiberStack[]> quicklists_;   // [max_order_ + 1]
+  std::unique_ptr<std::atomic<std::uint32_t>[]> ql_links_;  // [node_count()]
+
   mutable std::atomic<std::uint64_t> st_allocs_{0};
   mutable std::atomic<std::uint64_t> st_frees_{0};
   mutable std::atomic<std::uint64_t> st_splits_{0};
   mutable std::atomic<std::uint64_t> st_merges_{0};
   mutable std::atomic<std::uint64_t> st_failed_{0};
   mutable std::atomic<std::uint64_t> st_retries_{0};
+  mutable std::atomic<std::uint64_t> st_ql_hits_{0};
+  mutable std::atomic<std::uint64_t> st_ql_misses_{0};
+  mutable std::atomic<std::uint64_t> st_ql_spills_{0};
+  mutable std::atomic<std::uint64_t> st_ql_flushes_{0};
+  mutable std::atomic<std::uint64_t> st_cas_claims_{0};
+  mutable std::atomic<std::uint64_t> st_lock_claims_{0};
 };
 
 }  // namespace toma::alloc

@@ -320,12 +320,35 @@ UAlloc::UAlloc(TBuddy& buddy, std::uint32_t num_arenas, bool use_tails)
 UAlloc::~UAlloc() = default;
 
 void* UAlloc::allocate(std::size_t size) {
-  TOMA_DASSERT(util::is_pow2(size));
-  TOMA_DASSERT(size >= kMinAlloc && size <= kMaxUAllocSize);
-  const std::uint32_t cls = size_class_of(size);
   const std::uint32_t a = gpu::this_thread::sm_id_or_hash(
       static_cast<std::uint32_t>(arenas_.size()));
-  return arenas_[a]->allocate(cls);
+  return allocate_from(a, size);
+}
+
+void* UAlloc::allocate_from(std::uint32_t home_arena, std::size_t size) {
+  TOMA_DASSERT(util::is_pow2(size));
+  TOMA_DASSERT(size >= kMinAlloc && size <= kMaxUAllocSize);
+  TOMA_DASSERT(home_arena < arenas_.size());
+  const std::uint32_t cls = size_class_of(size);
+  void* p = arenas_[home_arena]->allocate(cls);
+  if (p != nullptr) return p;
+  // The home arena is out: its chunk lists are drained and TBuddy refused
+  // it a new chunk. Chunks are arena-private, so pool memory is not
+  // fungible across SMs — another arena may still hold half-empty chunks
+  // (or win a freshly coalesced one). Sweep the siblings before reporting
+  // OOM; without this, a small pool degenerates to "whichever arena
+  // grabbed the last chunk serves its SM, every other SM fails 100%".
+  for (std::uint32_t off = 1; off < arenas_.size(); ++off) {
+    const std::uint32_t a =
+        (home_arena + off) % static_cast<std::uint32_t>(arenas_.size());
+    p = arenas_[a]->allocate(cls);
+    if (p != nullptr) {
+      st_arena_fallbacks_.fetch_add(1, std::memory_order_relaxed);
+      TOMA_CTR_INC("ualloc.arena_fallback");
+      return p;
+    }
+  }
+  return nullptr;
 }
 
 void UAlloc::free(void* p) {
@@ -730,6 +753,7 @@ UAllocStats UAlloc::stats() const {
   s.magazine_misses = st_mag_misses_.load(std::memory_order_relaxed);
   s.magazine_spills = st_mag_spills_.load(std::memory_order_relaxed);
   s.magazine_flushes = st_mag_flushes_.load(std::memory_order_relaxed);
+  s.arena_fallbacks = st_arena_fallbacks_.load(std::memory_order_relaxed);
   for (const auto& arena : arenas_) {
     for (std::uint32_t c = 0; c < kNumSizeClasses; ++c) {
       s.magazine_cached += arena->magazines_[c].count();

@@ -278,6 +278,8 @@ struct UAllocStats {
   std::uint64_t magazine_spills = 0;   // frees that overflowed a magazine
   std::uint64_t magazine_flushes = 0;  // blocks evicted by release_cached()
   std::uint64_t magazine_cached = 0;   // blocks cached right now
+  std::uint64_t arena_fallbacks = 0;   // allocations served by a non-home
+                                       // arena after the home arena OOM'd
 };
 
 class UAlloc {
@@ -293,8 +295,14 @@ class UAlloc {
   UAlloc& operator=(const UAlloc&) = delete;
 
   /// Allocate a block of power-of-two `size` in [8, 1024] from the
-  /// calling thread's arena. nullptr on pool exhaustion.
+  /// calling thread's arena, falling back to the other arenas when the
+  /// home arena is out of chunks. nullptr on pool exhaustion.
   void* allocate(std::size_t size);
+
+  /// allocate() with an explicit home arena instead of the calling
+  /// thread's SM — the same fallback sweep, made deterministic for tests
+  /// (and usable by hosts that route by something other than SM id).
+  void* allocate_from(std::uint32_t home_arena, std::size_t size);
 
   /// Free a block previously returned by allocate (any thread).
   void free(void* p);
@@ -412,6 +420,7 @@ class UAlloc {
   mutable std::atomic<std::uint64_t> st_mag_misses_{0};
   mutable std::atomic<std::uint64_t> st_mag_spills_{0};
   mutable std::atomic<std::uint64_t> st_mag_flushes_{0};
+  mutable std::atomic<std::uint64_t> st_arena_fallbacks_{0};
 };
 
 }  // namespace toma::alloc

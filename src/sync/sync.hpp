@@ -8,3 +8,4 @@
 #include "sync/rcu.hpp"
 #include "sync/rcu_list.hpp"
 #include "sync/spin_mutex.hpp"
+#include "sync/treiber_stack.hpp"

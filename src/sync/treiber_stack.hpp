@@ -1,0 +1,117 @@
+// Bounded lock-free LIFO of 32-bit element indices (Treiber stack).
+//
+// The classic Treiber stack suffers ABA when a popped element is re-pushed
+// while another popper still holds a stale head: the stale CAS succeeds and
+// splices in a dead next pointer. Pointer tagging is the textbook fix; we
+// get a full 32-bit generation tag for free by storing *indices* instead of
+// pointers — the head word packs {tag:32, index:32} and every successful
+// push/pop increments the tag, so a stale head can never win a CAS.
+//
+// Element storage is external: the caller owns an array of atomic links
+// (one slot per possible element, e.g. one per tree node or per pool
+// block) and elements carry their successor in links[i]. This keeps the
+// stack header to two words and lets many stacks share one link array as
+// long as each element lives in at most one stack at a time — exactly the
+// per-order quicklist layout TBuddy uses (alloc/tbuddy.hpp).
+//
+// The bound is enforced by reservation: try_push claims a slot in `count_`
+// *before* linking, so the number of stored elements never exceeds the
+// capacity even under concurrent pushes (the counter itself may transiently
+// overshoot while a loser backs out). count() is approximate under
+// concurrency, exact at quiescence — the same contract as every statistics
+// read in this codebase.
+//
+// Progress: push and pop are lock-free (a CAS failure implies another
+// thread's CAS succeeded). Memory ordering: a successful pop acquires the
+// pushing thread's release, so writes made to an element's memory before
+// push() are visible to the thread that pops it.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+#include "util/assert.hpp"
+
+namespace toma::sync {
+
+class TreiberStack {
+ public:
+  /// Sentinel index: "no element" (empty stack / end of chain).
+  static constexpr std::uint32_t kNil = 0xFFFFFFFFu;
+
+  TreiberStack() = default;
+  TreiberStack(const TreiberStack&) = delete;
+  TreiberStack& operator=(const TreiberStack&) = delete;
+
+  /// Fix the bound. Call before first use (not thread-safe).
+  void set_capacity(std::uint32_t cap) { cap_ = cap; }
+  std::uint32_t capacity() const { return cap_; }
+
+  /// Push element `i`, linking through `links[i]`. Returns false when the
+  /// stack is at capacity (the element is untouched).
+  bool try_push(std::atomic<std::uint32_t>* links, std::uint32_t i) {
+    TOMA_DASSERT(i != kNil);
+    if (count_.fetch_add(1, std::memory_order_relaxed) >= cap_) {
+      count_.fetch_sub(1, std::memory_order_relaxed);
+      return false;
+    }
+    std::uint64_t h = head_.load(std::memory_order_relaxed);
+    for (;;) {
+      links[i].store(index_of(h), std::memory_order_relaxed);
+      // Release: publishes both the link and any prior writes into the
+      // element's memory to the eventual popper.
+      if (head_.compare_exchange_weak(h, pack(tag_of(h) + 1, i),
+                                      std::memory_order_release,
+                                      std::memory_order_relaxed)) {
+        return true;
+      }
+    }
+  }
+
+  /// Pop the most recently pushed element; kNil when empty.
+  std::uint32_t try_pop(std::atomic<std::uint32_t>* links) {
+    std::uint64_t h = head_.load(std::memory_order_acquire);
+    for (;;) {
+      const std::uint32_t i = index_of(h);
+      if (i == kNil) return kNil;
+      const std::uint32_t next = links[i].load(std::memory_order_relaxed);
+      if (head_.compare_exchange_weak(h, pack(tag_of(h) + 1, next),
+                                      std::memory_order_acquire,
+                                      std::memory_order_acquire)) {
+        count_.fetch_sub(1, std::memory_order_relaxed);
+        return i;
+      }
+    }
+  }
+
+  /// Elements stored right now (approximate under concurrency).
+  std::uint32_t count() const {
+    return count_.load(std::memory_order_relaxed);
+  }
+
+  bool empty() const {
+    return index_of(head_.load(std::memory_order_acquire)) == kNil;
+  }
+
+  /// Top element without popping (kNil when empty). Only meaningful on a
+  /// quiescent stack — consistency checks walk from here through the
+  /// caller's link array.
+  std::uint32_t peek() const {
+    return index_of(head_.load(std::memory_order_acquire));
+  }
+
+ private:
+  static constexpr std::uint64_t pack(std::uint64_t tag, std::uint32_t idx) {
+    return (tag << 32) | idx;
+  }
+  static constexpr std::uint32_t index_of(std::uint64_t h) {
+    return static_cast<std::uint32_t>(h);
+  }
+  static constexpr std::uint64_t tag_of(std::uint64_t h) { return h >> 32; }
+
+  std::atomic<std::uint64_t> head_{pack(0, kNil)};
+  std::atomic<std::uint32_t> count_{0};
+  std::uint32_t cap_ = 0;
+};
+
+}  // namespace toma::sync

@@ -39,6 +39,12 @@ TEST_F(TBuddyTest, SingleAllocFree) {
   EXPECT_TRUE(util::is_aligned(p, kPageSize));
   EXPECT_EQ(buddy_.free_bytes(), kPool - kPageSize);
   buddy_.free(p);
+  if (buddy_.quicklist_enabled()) {
+    // Deferred coalescing parks the freed page in the order-0 quicklist,
+    // invisible to the free-space accounting until flushed.
+    EXPECT_EQ(buddy_.quicklist_count(0), 1u);
+    EXPECT_EQ(buddy_.trim(), 1u);
+  }
   EXPECT_EQ(buddy_.free_bytes(), kPool);
   // Full merge back to a single root block.
   EXPECT_EQ(buddy_.largest_free_block(), kPool);
@@ -69,10 +75,13 @@ TEST_F(TBuddyTest, DisjointAllocations) {
   // Ranges must not overlap: starts are 16 KB apart at least.
   std::uintptr_t prev = 0;
   for (std::uintptr_t s : starts) {
-    if (prev != 0) EXPECT_GE(s - prev, kPageSize << 2);
+    if (prev != 0) {
+      EXPECT_GE(s - prev, kPageSize << 2);
+    }
     prev = s;
   }
   for (void* p : ptrs) buddy_.free(p);
+  buddy_.trim();  // flush deferred coalescing before asserting full merge
   EXPECT_TRUE(buddy_.check_consistency());
   EXPECT_EQ(buddy_.largest_free_block(), kPool);
 }
@@ -89,6 +98,7 @@ TEST_F(TBuddyTest, ExhaustionAtOrderZero) {
   EXPECT_EQ(buddy_.allocate(0), nullptr);
   EXPECT_EQ(buddy_.free_bytes(), 0u);
   for (void* p : ptrs) buddy_.free(p);
+  buddy_.trim();
   EXPECT_EQ(buddy_.largest_free_block(), kPool);
   EXPECT_TRUE(buddy_.check_consistency());
 }
@@ -125,6 +135,7 @@ TEST_F(TBuddyTest, MergeCascadesAcrossOrders) {
   for (int i = 0; i < 4; ++i) ptrs.push_back(buddy_.allocate(0));
   for (void* p : ptrs) ASSERT_NE(p, nullptr);
   for (void* p : ptrs) buddy_.free(p);
+  buddy_.trim();  // cached frees only cascade once flushed
   EXPECT_TRUE(buddy_.check_consistency());
   EXPECT_EQ(buddy_.largest_free_block(), kPool);
   EXPECT_GT(buddy_.stats().merges, 0u);
@@ -153,6 +164,7 @@ TEST_F(TBuddyTest, MixedOrdersChurn) {
     }
   }
   for (auto& [p, order] : live) buddy_.free(p);
+  buddy_.trim();
   EXPECT_TRUE(buddy_.check_consistency());
   EXPECT_EQ(buddy_.largest_free_block(), kPool);
 }
@@ -175,6 +187,7 @@ TEST_F(TBuddyTest, ConcurrentAllocFreeGpu) {
       buddy_.free(p);
     }
   });
+  buddy_.trim();
   EXPECT_TRUE(buddy_.check_consistency());
   EXPECT_EQ(buddy_.free_bytes(), kPool);
   EXPECT_EQ(buddy_.largest_free_block(), kPool)
@@ -202,8 +215,221 @@ TEST_F(TBuddyTest, ConcurrentDistinctOrdersConserveMemory) {
   for (auto& s : slots) {
     if (void* p = s.load()) buddy_.free(p);
   }
+  buddy_.trim();
   EXPECT_TRUE(buddy_.check_consistency());
   EXPECT_EQ(buddy_.largest_free_block(), kPool);
+}
+
+// --- quicklist front-end (deferred coalescing; INTERNALS §4c) --------------
+
+TEST_F(TBuddyTest, QuicklistLifoReuse) {
+  if (!buddy_.quicklist_enabled()) GTEST_SKIP() << "quicklist compiled off";
+  void* p1 = buddy_.allocate(0);
+  void* p2 = buddy_.allocate(0);
+  ASSERT_NE(p1, nullptr);
+  ASSERT_NE(p2, nullptr);
+  buddy_.free(p2);
+  buddy_.free(p1);
+  EXPECT_EQ(buddy_.quicklist_count(0), 2u);
+  // Most recently freed block comes back first, straight off the stack.
+  EXPECT_EQ(buddy_.allocate(0), p1);
+  EXPECT_EQ(buddy_.allocate(0), p2);
+  EXPECT_EQ(buddy_.stats().quicklist_hits, 2u);
+  EXPECT_EQ(buddy_.quicklist_count(0), 0u);
+  buddy_.free(p1);
+  buddy_.free(p2);
+  buddy_.trim();
+  EXPECT_TRUE(buddy_.check_consistency());
+}
+
+TEST_F(TBuddyTest, QuicklistInvisibleToAccounting) {
+  if (!buddy_.quicklist_enabled()) GTEST_SKIP() << "quicklist compiled off";
+  void* p = buddy_.allocate(3);
+  ASSERT_NE(p, nullptr);
+  const std::size_t free_before = buddy_.free_bytes();
+  const std::uint64_t avail_before = buddy_.available(3);
+  const std::size_t largest_before = buddy_.largest_free_block();
+  buddy_.free(p);
+  // The cached block keeps its node Busy and its semaphore unit consumed:
+  // every accounting probe must read exactly as if it were still
+  // allocated. This is the invariant that keeps largest_free_block() and
+  // exhaustion decisions correct with the cache on.
+  EXPECT_EQ(buddy_.quicklist_count(3), 1u);
+  EXPECT_EQ(buddy_.free_bytes(), free_before);
+  EXPECT_EQ(buddy_.available(3), avail_before);
+  EXPECT_EQ(buddy_.largest_free_block(), largest_before);
+  EXPECT_TRUE(buddy_.check_consistency());
+  EXPECT_EQ(buddy_.trim(), 1u);
+  EXPECT_EQ(buddy_.free_bytes(), kPool);
+  EXPECT_EQ(buddy_.largest_free_block(), kPool);
+  EXPECT_TRUE(buddy_.check_consistency());
+}
+
+TEST_F(TBuddyTest, QuicklistHighWaterSpillFlushesToLowWater) {
+  if (!buddy_.quicklist_enabled()) GTEST_SKIP() << "quicklist compiled off";
+  const std::uint32_t cap = quicklist_capacity(0, buddy_.max_order());
+  ASSERT_EQ(cap, 32u);  // kQuicklistHighWater at this pool size
+  const std::uint32_t low = quicklist_low_water(cap);
+  std::vector<void*> ptrs;
+  for (std::uint32_t i = 0; i < cap + 8; ++i) {
+    void* p = buddy_.allocate(0);
+    ASSERT_NE(p, nullptr);
+    ptrs.push_back(p);
+  }
+  for (std::uint32_t i = 0; i < cap; ++i) buddy_.free(ptrs[i]);
+  EXPECT_EQ(buddy_.quicklist_count(0), cap);
+  EXPECT_EQ(buddy_.stats().quicklist_spills, 0u);
+  // The next free overflows the high-water mark: hysteresis drains the
+  // list down to low-water and sends the overflowing block through the
+  // merging free path, buying cap/2 more O(1) frees before the next spill.
+  buddy_.free(ptrs[cap]);
+  EXPECT_EQ(buddy_.stats().quicklist_spills, 1u);
+  EXPECT_EQ(buddy_.stats().quicklist_flushes, cap - low);
+  EXPECT_EQ(buddy_.quicklist_count(0), low);
+  for (std::uint32_t i = cap + 1; i < cap + 8; ++i) buddy_.free(ptrs[i]);
+  EXPECT_EQ(buddy_.quicklist_count(0), low + 7);
+  EXPECT_EQ(buddy_.stats().quicklist_spills, 1u);  // no further spill
+  buddy_.trim();
+  EXPECT_EQ(buddy_.quicklist_count(0), 0u);
+  EXPECT_EQ(buddy_.largest_free_block(), kPool);
+  EXPECT_TRUE(buddy_.check_consistency());
+}
+
+TEST_F(TBuddyTest, QuicklistFlushOnTrimReformsMaximalBlocks) {
+  if (!buddy_.quicklist_enabled()) GTEST_SKIP() << "quicklist compiled off";
+  std::vector<void*> ptrs;
+  for (int i = 0; i < 16; ++i) {
+    void* p = buddy_.allocate(0);
+    ASSERT_NE(p, nullptr);
+    ptrs.push_back(p);
+  }
+  for (void* p : ptrs) buddy_.free(p);
+  // Deferred coalescing: the freed siblings sit unmerged in the cache.
+  EXPECT_EQ(buddy_.quicklist_count(0), 16u);
+  EXPECT_LT(buddy_.largest_free_block(), kPool);
+  const std::uint64_t merges_before = buddy_.stats().merges;
+  EXPECT_EQ(buddy_.trim(), 16u);
+  // The flush pushed them through the real free path: merges cascaded
+  // and the pool is one maximal block again.
+  EXPECT_GT(buddy_.stats().merges, merges_before);
+  EXPECT_EQ(buddy_.largest_free_block(), kPool);
+  EXPECT_TRUE(buddy_.check_consistency());
+}
+
+TEST_F(TBuddyTest, DisablingQuicklistFlushes) {
+  void* p = buddy_.allocate(0);
+  ASSERT_NE(p, nullptr);
+  buddy_.set_quicklist(true);
+  buddy_.free(p);
+  EXPECT_EQ(buddy_.quicklist_count(0), 1u);
+  buddy_.set_quicklist(false);  // flushes: paper-faithful config reachable
+  EXPECT_EQ(buddy_.quicklist_count(0), 0u);
+  EXPECT_EQ(buddy_.free_bytes(), kPool);
+  EXPECT_EQ(buddy_.largest_free_block(), kPool);
+  // With the cache off, frees take the merging path directly.
+  void* q = buddy_.allocate(0);
+  buddy_.free(q);
+  EXPECT_EQ(buddy_.quicklist_count(0), 0u);
+  EXPECT_EQ(buddy_.largest_free_block(), kPool);
+  EXPECT_TRUE(buddy_.check_consistency());
+}
+
+TEST_F(TBuddyTest, QuicklistServesBeforeTreeUnderExhaustion) {
+  if (!buddy_.quicklist_enabled()) GTEST_SKIP() << "quicklist compiled off";
+  // Exhaust the pool, free a handful (they cache), and reallocate: the
+  // cached blocks must be handed out even though the tree itself reports
+  // nothing available (pops run before the semaphore).
+  const std::size_t pages = kPool / kPageSize;
+  std::vector<void*> ptrs;
+  for (std::size_t i = 0; i < pages; ++i) {
+    void* p = buddy_.allocate(0);
+    ASSERT_NE(p, nullptr);
+    ptrs.push_back(p);
+  }
+  for (int i = 0; i < 8; ++i) buddy_.free(ptrs[i]);
+  EXPECT_EQ(buddy_.quicklist_count(0), 8u);
+  EXPECT_EQ(buddy_.free_bytes(), 0u);  // cached blocks stay invisible
+  for (int i = 0; i < 8; ++i) {
+    ptrs[i] = buddy_.allocate(0);
+    EXPECT_NE(ptrs[i], nullptr) << "cached block not served at exhaustion";
+  }
+  EXPECT_EQ(buddy_.allocate(0), nullptr);  // now truly exhausted
+  for (void* p : ptrs) buddy_.free(p);
+  buddy_.trim();
+  EXPECT_EQ(buddy_.largest_free_block(), kPool);
+  EXPECT_TRUE(buddy_.check_consistency());
+}
+
+TEST_F(TBuddyTest, PoolPressureFlushesQuicklistsAndRetries) {
+  if (!buddy_.quicklist_enabled()) GTEST_SKIP() << "quicklist compiled off";
+  // Fill the pool with order-0 pages, free them all (32 stay cached at
+  // order 0, the rest merge), then ask for a block larger than anything
+  // the tree can currently form: the allocation must flush the cached
+  // pages, let them coalesce, and succeed instead of reporting OOM.
+  const std::size_t pages = kPool / kPageSize;
+  std::vector<void*> ptrs;
+  for (std::size_t i = 0; i < pages; ++i) {
+    void* p = buddy_.allocate(0);
+    ASSERT_NE(p, nullptr);
+    ptrs.push_back(p);
+  }
+  for (void* p : ptrs) buddy_.free(p);
+  ASSERT_GT(buddy_.quicklist_count(0), 0u);
+  void* big = buddy_.allocate(buddy_.max_order());
+  EXPECT_NE(big, nullptr)
+      << "pool pressure failed to reclaim quicklisted blocks";
+  buddy_.free(big);
+  buddy_.trim();
+  EXPECT_EQ(buddy_.largest_free_block(), kPool);
+  EXPECT_TRUE(buddy_.check_consistency());
+}
+
+TEST_F(TBuddyTest, CasClaimTogglesAndCounts) {
+  buddy_.set_quicklist(false);  // force every allocation through the tree
+  buddy_.set_cas_claim(true);
+  void* p = buddy_.allocate(0);
+  ASSERT_NE(p, nullptr);
+  // Uncontended, the optimistic CAS always wins.
+  EXPECT_GT(buddy_.stats().cas_claims, 0u);
+  EXPECT_EQ(buddy_.stats().lock_claims, 0u);
+  buddy_.free(p);
+  buddy_.set_cas_claim(false);
+  void* q = buddy_.allocate(0);
+  ASSERT_NE(q, nullptr);
+  EXPECT_GT(buddy_.stats().lock_claims, 0u);
+  buddy_.free(q);
+  EXPECT_EQ(buddy_.largest_free_block(), kPool);
+  EXPECT_TRUE(buddy_.check_consistency());
+}
+
+TEST_F(TBuddyTest, QuicklistConcurrentChurnPreservesInvariants) {
+  if (!buddy_.quicklist_enabled()) GTEST_SKIP() << "quicklist compiled off";
+  gpu::Device dev(test::small_device());
+  dev.launch_linear(2048, 128, [&](gpu::ThreadCtx& t) {
+    auto& rng = t.rng();
+    for (int round = 0; round < 4; ++round) {
+      const std::uint32_t order =
+          static_cast<std::uint32_t>(rng.next_below(4));
+      void* p = buddy_.allocate(order);
+      if (p == nullptr) continue;
+      std::memset(p, 0x5A, 64);
+      t.yield();
+      buddy_.free(p);
+    }
+  });
+  // Quiescent: cached bytes + accounted free bytes must equal the pool
+  // (every block is either cached-Busy or semaphore-visible, never both).
+  std::size_t cached_bytes = 0;
+  for (std::uint32_t h = 0; h <= buddy_.max_order(); ++h) {
+    cached_bytes += static_cast<std::size_t>(buddy_.quicklist_count(h)) *
+                    (kPageSize << h);
+  }
+  EXPECT_EQ(buddy_.free_bytes() + cached_bytes, kPool);
+  EXPECT_TRUE(buddy_.check_consistency());
+  buddy_.trim();
+  EXPECT_EQ(buddy_.free_bytes(), kPool);
+  EXPECT_EQ(buddy_.largest_free_block(), kPool);
+  EXPECT_TRUE(buddy_.check_consistency());
 }
 
 // Property sweep over pool sizes: invariants hold after heavy churn.
@@ -229,6 +455,7 @@ TEST_P(TBuddyProperty, ChurnPreservesInvariants) {
   }
   EXPECT_TRUE(buddy.check_consistency());
   for (void* p : live) buddy.free(p);
+  buddy.trim();
   EXPECT_TRUE(buddy.check_consistency());
   EXPECT_EQ(buddy.largest_free_block(), pool_bytes);
 }

@@ -155,6 +155,9 @@ TEST_F(UAllocTest, ChunkRetirementReturnsMemoryToBuddy) {
   // Retire hysteresis keeps the last bin of the class cached; an explicit
   // trim scavenges it and every chunk returns to the buddy.
   ua_.trim();
+  // Retired chunks land in the buddy's order-6 quicklist (deferred
+  // coalescing); flush it so they show up in the free-space accounting.
+  buddy_.trim();
   EXPECT_EQ(ua_.stats().chunks_created, ua_.stats().chunks_retired);
   EXPECT_EQ(buddy_.free_bytes(), before);
   EXPECT_TRUE(buddy_.check_consistency());
@@ -528,9 +531,37 @@ TEST_F(UAllocTest, TrimFlushesMagazines) {
   // trim() must flush the magazines first or cached blocks pin their bins
   // (and chunks) forever.
   ua_.trim();
+  buddy_.trim();  // retired chunks sit in the buddy quicklist until flushed
   EXPECT_EQ(ua_.stats().magazine_cached, 0u);
   EXPECT_EQ(buddy_.free_bytes(), before);
   EXPECT_TRUE(ua_.check_consistency());
+}
+
+TEST(UAllocArenaFallback, SingleChunkPoolServesAllArenas) {
+  // Regression for the fig7 8 B anomaly: with a pool of exactly one chunk
+  // and two arenas, whichever arena won the chunk race was the only one
+  // that could ever allocate — chunks are arena-private, so every thread
+  // routed to the losing arena failed while the pool sat mostly free
+  // (the 8 B row showed a 67% failure rate against ~3% for its
+  // neighbours). allocate() must sweep the sibling arenas before
+  // reporting OOM.
+  constexpr std::size_t kPool = kChunkSize;
+  test::AlignedPool pool(kPool);
+  TBuddy buddy(pool.get(), kPool);
+  UAlloc ua(buddy, /*num_arenas=*/2);
+
+  // Home arena 0 acquires the pool's only chunk.
+  void* a0 = ua.allocate_from(0, 8);
+  ASSERT_NE(a0, nullptr);
+  // Arena 1 owns no chunk and cannot grow one; the fallback sweep must
+  // serve it from arena 0's chunk instead of failing.
+  void* a1 = ua.allocate_from(1, 8);
+  ASSERT_NE(a1, nullptr);
+  EXPECT_GE(ua.stats().arena_fallbacks, 1u);
+
+  ua.free(a0);
+  ua.free(a1);
+  EXPECT_TRUE(ua.check_consistency());
 }
 
 }  // namespace

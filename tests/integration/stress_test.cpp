@@ -173,6 +173,7 @@ TEST(Stress, AllocateHoldExhaustFreeRepeat) {
       if (void* p = h.load()) ga.free(p);
     }
     ASSERT_TRUE(ga.check_consistency()) << "wave " << wave;
+    ga.trim();  // flush the buddy quicklists so the freed pages coalesce
     ASSERT_EQ(ga.buddy().largest_free_block(), ga.pool_bytes());
   }
 }

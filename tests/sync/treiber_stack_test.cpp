@@ -1,0 +1,170 @@
+#include "sync/treiber_stack.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <memory>
+#include <vector>
+
+#include "gpusim/gpusim.hpp"
+#include "support/test_support.hpp"
+
+namespace toma::sync {
+namespace {
+
+std::unique_ptr<std::atomic<std::uint32_t>[]> make_links(std::size_t n) {
+  return std::make_unique<std::atomic<std::uint32_t>[]>(n);
+}
+
+TEST(TreiberStack, StartsEmpty) {
+  TreiberStack s;
+  auto links = make_links(4);
+  s.set_capacity(4);
+  EXPECT_TRUE(s.empty());
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_EQ(s.peek(), TreiberStack::kNil);
+  EXPECT_EQ(s.try_pop(links.get()), TreiberStack::kNil);
+}
+
+TEST(TreiberStack, PushPopIsLifo) {
+  TreiberStack s;
+  auto links = make_links(8);
+  s.set_capacity(8);
+  for (std::uint32_t i = 0; i < 5; ++i) {
+    EXPECT_TRUE(s.try_push(links.get(), i));
+  }
+  EXPECT_EQ(s.count(), 5u);
+  EXPECT_EQ(s.peek(), 4u);
+  for (std::uint32_t i = 5; i-- > 0;) {
+    EXPECT_EQ(s.try_pop(links.get()), i);
+  }
+  EXPECT_TRUE(s.empty());
+}
+
+TEST(TreiberStack, CapacityBoundsPushes) {
+  TreiberStack s;
+  auto links = make_links(8);
+  s.set_capacity(3);
+  EXPECT_TRUE(s.try_push(links.get(), 0));
+  EXPECT_TRUE(s.try_push(links.get(), 1));
+  EXPECT_TRUE(s.try_push(links.get(), 2));
+  EXPECT_FALSE(s.try_push(links.get(), 3)) << "push past capacity succeeded";
+  EXPECT_EQ(s.count(), 3u);
+  EXPECT_EQ(s.try_pop(links.get()), 2u);
+  EXPECT_TRUE(s.try_push(links.get(), 3)) << "pop did not free a slot";
+}
+
+TEST(TreiberStack, ZeroCapacityRejectsEverything) {
+  TreiberStack s;
+  auto links = make_links(2);
+  s.set_capacity(0);
+  EXPECT_FALSE(s.try_push(links.get(), 0));
+  EXPECT_TRUE(s.empty());
+}
+
+TEST(TreiberStack, ReusePreservesDistinctness) {
+  // Elements cycle in and out; at every moment each element is in the
+  // stack at most once, so the peek()-walk must never see duplicates.
+  TreiberStack s;
+  constexpr std::uint32_t kN = 16;
+  auto links = make_links(kN);
+  s.set_capacity(kN);
+  for (int round = 0; round < 100; ++round) {
+    for (std::uint32_t i = 0; i < kN; ++i) {
+      ASSERT_TRUE(s.try_push(links.get(), (i + round) % kN));
+    }
+    std::vector<bool> seen(kN, false);
+    for (std::uint32_t i = s.peek(); i != TreiberStack::kNil;
+         i = links[i].load()) {
+      ASSERT_FALSE(seen[i]) << "element " << i << " twice in the stack";
+      seen[i] = true;
+    }
+    for (std::uint32_t i = 0; i < kN; ++i) {
+      ASSERT_NE(s.try_pop(links.get()), TreiberStack::kNil);
+    }
+  }
+}
+
+TEST(TreiberStack, ConcurrentChurnOsThreads) {
+  // Each thread owns a disjoint set of elements and repeatedly pushes
+  // then pops; whatever it pops it stamps. No element may ever be held
+  // by two threads at once (stamp mismatch would show corruption from
+  // ABA or a lost update).
+  constexpr unsigned kThreads = 4;
+  constexpr std::uint32_t kPerThread = 64;
+  constexpr std::uint32_t kN = kThreads * kPerThread;
+  TreiberStack s;
+  auto links = make_links(kN);
+  s.set_capacity(kN);
+  std::vector<std::atomic<int>> owner(kN);
+  for (auto& o : owner) o.store(-1);
+
+  test::run_os_threads(kThreads, [&](unsigned tid) {
+    std::vector<std::uint32_t> held;
+    held.reserve(kPerThread);
+    for (std::uint32_t i = 0; i < kPerThread; ++i) {
+      held.push_back(tid * kPerThread + i);
+    }
+    for (int iter = 0; iter < 20000; ++iter) {
+      if (!held.empty() && (iter & 1)) {
+        const std::uint32_t e = held.back();
+        held.pop_back();
+        owner[e].store(-1, std::memory_order_relaxed);
+        ASSERT_TRUE(s.try_push(links.get(), e));
+      } else {
+        const std::uint32_t e = s.try_pop(links.get());
+        if (e == TreiberStack::kNil) continue;
+        const int prev = owner[e].exchange(static_cast<int>(tid),
+                                           std::memory_order_relaxed);
+        ASSERT_EQ(prev, -1) << "element " << e << " popped while owned by "
+                            << prev;
+        held.push_back(e);
+      }
+    }
+    // Drain what we still hold back into the stack.
+    for (std::uint32_t e : held) {
+      owner[e].store(-1, std::memory_order_relaxed);
+      ASSERT_TRUE(s.try_push(links.get(), e));
+    }
+  });
+
+  // Quiescent: all kN elements are in the stack exactly once.
+  EXPECT_EQ(s.count(), kN);
+  std::vector<bool> seen(kN, false);
+  std::uint32_t walked = 0;
+  for (std::uint32_t i = s.peek(); i != TreiberStack::kNil;
+       i = links[i].load()) {
+    ASSERT_FALSE(seen[i]);
+    seen[i] = true;
+    ++walked;
+  }
+  EXPECT_EQ(walked, kN);
+}
+
+TEST(TreiberStack, ConcurrentChurnGpuThreads) {
+  // Same ownership-transfer contract under the cooperative simulator,
+  // where fibers interleave at yield points instead of preemptively.
+  gpu::Device dev(test::small_device());
+  constexpr std::uint32_t kN = 256;
+  TreiberStack s;
+  auto links = make_links(kN);
+  s.set_capacity(kN);
+  for (std::uint32_t i = 0; i < kN; ++i) {
+    ASSERT_TRUE(s.try_push(links.get(), i));
+  }
+  std::atomic<std::uint64_t> pops{0};
+  dev.launch(gpu::Dim3{4}, gpu::Dim3{64}, [&](gpu::ThreadCtx& t) {
+    for (int iter = 0; iter < 50; ++iter) {
+      const std::uint32_t e = s.try_pop(links.get());
+      if (e == TreiberStack::kNil) continue;
+      pops.fetch_add(1, std::memory_order_relaxed);
+      t.yield();  // hold the element across a scheduling point
+      ASSERT_TRUE(s.try_push(links.get(), e));
+    }
+  });
+  EXPECT_GT(pops.load(), 0u);
+  EXPECT_EQ(s.count(), kN);
+}
+
+}  // namespace
+}  // namespace toma::sync
