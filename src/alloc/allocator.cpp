@@ -5,6 +5,7 @@
 #include <algorithm>
 #include <cstdint>
 
+#include "obs/postmortem.hpp"
 #include "obs/telemetry.hpp"
 #include "util/assert.hpp"
 #include "util/bitops.hpp"
@@ -34,9 +35,18 @@ GpuAllocator::GpuAllocator(std::size_t pool_bytes, std::uint32_t num_arenas)
   TOMA_ASSERT_MSG(pool_ != nullptr, "pool reservation failed");
   buddy_ = std::make_unique<TBuddy>(pool_, pool_bytes, kPageSize);
   ualloc_ = std::make_unique<UAlloc>(*buddy_, num_arenas);
+  san_ = std::make_unique<san::HeapSan>(
+      san::HeapSanConfig{}, [this](void* base) { free_base(base); });
+  san_->set_enabled(TOMA_HEAPSAN != 0);
+  // Fatal asserts anywhere below us should leave a flight record.
+  obs::install_postmortem_hook();
 }
 
 GpuAllocator::~GpuAllocator() {
+  // Verify redzones/poison and report leaks while the allocators are still
+  // alive: teardown drains the quarantine through the real free paths.
+  if (san_->engaged()) san_->teardown_check();
+  san_.reset();
   ualloc_.reset();
   buddy_.reset();
   std::free(pool_);
@@ -52,18 +62,46 @@ std::size_t GpuAllocator::effective_size(std::size_t size) {
   return rounded;
 }
 
+void* GpuAllocator::route_alloc(std::size_t rounded) {
+  if (rounded <= kMaxUAllocSize) return ualloc_->allocate(rounded);
+  return buddy_->allocate_bytes(rounded);
+}
+
+void GpuAllocator::free_base(void* base) {
+  if (util::is_aligned(base, kPageSize)) {
+    buddy_->free(base);
+  } else {
+    ualloc_->free(base);
+  }
+}
+
 void* GpuAllocator::malloc(std::size_t size) {
   if (size == 0) return nullptr;
   st_mallocs_.fetch_add(1, std::memory_order_relaxed);
   TOMA_CTR_INC("alloc.malloc");
   [[maybe_unused]] const std::uint64_t t0 = TOMA_NOW_NS();
-  const std::size_t rounded =
-      util::round_up_pow2(size < kMinAlloc ? kMinAlloc : size);
   void* p;
-  if (rounded <= kMaxUAllocSize) {
-    p = ualloc_->allocate(rounded);
+  std::size_t rounded;
+  if (san_->enabled()) {
+    // Sanitized path: the underlying request grows by two redzones; the
+    // user pointer sits one redzone into the slot. Routing and class
+    // rounding apply to the *wrapped* size.
+    const std::size_t wrapped = san_->wrap_size(size);
+    rounded = util::round_up_pow2(wrapped < kMinAlloc ? kMinAlloc : wrapped);
+    p = route_alloc(rounded);
+    if (p == nullptr && san_->flush_quarantine() > 0) {
+      // Quarantined blocks pin real memory; under pool pressure they are
+      // reclaimed before OOM is declared (same contract as the magazine
+      // and quicklist flushes inside the allocators).
+      p = route_alloc(rounded);
+    }
+    if (p != nullptr) p = san_->on_alloc(p, effective_size(wrapped), size);
   } else {
-    p = buddy_->allocate_bytes(rounded);
+    rounded = util::round_up_pow2(size < kMinAlloc ? kMinAlloc : size);
+    p = route_alloc(rounded);
+    if (p == nullptr && san_->engaged() && san_->flush_quarantine() > 0) {
+      p = route_alloc(rounded);  // mixed mode: quarantine still pins memory
+    }
   }
   TOMA_HISTV("alloc.malloc_ns", kSizeClassBuckets, size_class_index(rounded),
              TOMA_NOW_NS() - t0);
@@ -80,11 +118,15 @@ void GpuAllocator::free(void* p) {
   st_frees_.fetch_add(1, std::memory_order_relaxed);
   TOMA_CTR_INC("alloc.free");
   [[maybe_unused]] const std::uint64_t t0 = TOMA_NOW_NS();
-  if (util::is_aligned(p, kPageSize)) {
-    buddy_->free(p);
-  } else {
-    ualloc_->free(p);
+  // Sanitized blocks (including ones allocated before a set_heapsan(false))
+  // detour through verification + quarantine; the memory reaches the raw
+  // allocators on eviction via free_base(). Unknown pointers fall through.
+  if (san_->engaged() &&
+      san_->on_free(p) == san::HeapSan::FreeResult::kOk) {
+    TOMA_HIST("alloc.free_ns", TOMA_NOW_NS() - t0);
+    return;
   }
+  free_base(p);
   TOMA_HIST("alloc.free_ns", TOMA_NOW_NS() - t0);
 }
 
@@ -113,6 +155,21 @@ void* GpuAllocator::realloc(void* p, std::size_t size) {
   }
   st_reallocs_.fetch_add(1, std::memory_order_relaxed);
   TOMA_CTR_INC("alloc.realloc");
+  std::size_t san_old = 0;
+  if (san_->engaged() && san_->lookup(p, &san_old)) {
+    // Sanitized block: in place iff the wrapped new size still rounds to
+    // the slot we hold; the redzone/poison boundary moves to the new size.
+    if (san_->try_resize(p, size, effective_size(san_->wrap_size(size)))) {
+      st_reallocs_inplace_.fetch_add(1, std::memory_order_relaxed);
+      TOMA_CTR_INC("alloc.realloc_inplace");
+      return p;
+    }
+    void* q = malloc(size);
+    if (q == nullptr) return nullptr;
+    std::memcpy(q, p, std::min(san_old, size));
+    free(p);
+    return q;
+  }
   const std::size_t old_cap = usable_size(p);
   if (effective_size(size) == old_cap) {
     // The new size rounds to the very block we hold (same UAlloc class or
@@ -131,6 +188,10 @@ void* GpuAllocator::realloc(void* p, std::size_t size) {
 
 std::size_t GpuAllocator::usable_size(void* p) const {
   TOMA_ASSERT(p != nullptr);
+  // A sanitized block's usable bytes are exactly what was requested: the
+  // rounding slack is redzone, and writing into it must be reported.
+  std::size_t san_size;
+  if (san_->engaged() && san_->lookup(p, &san_size)) return san_size;
   if (util::is_aligned(p, kPageSize)) return buddy_->allocation_size(p);
   return ualloc_->usable_size(p);
 }
@@ -139,6 +200,7 @@ GpuAllocatorStats GpuAllocator::stats() const {
   GpuAllocatorStats s;
   s.buddy = buddy_->stats();
   s.ualloc = ualloc_->stats();
+  s.heapsan = san_->stats();
   s.mallocs = st_mallocs_.load(std::memory_order_relaxed);
   s.failed_mallocs = st_failed_.load(std::memory_order_relaxed);
   s.frees = st_frees_.load(std::memory_order_relaxed);

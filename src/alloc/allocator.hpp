@@ -17,12 +17,14 @@
 #include "alloc/config.hpp"
 #include "alloc/tbuddy.hpp"
 #include "alloc/ualloc.hpp"
+#include "san/heapsan.hpp"
 
 namespace toma::alloc {
 
 struct GpuAllocatorStats {
   TBuddyStats buddy;
   UAllocStats ualloc;
+  san::HeapSanStats heapsan;
   std::uint64_t mallocs = 0;
   std::uint64_t failed_mallocs = 0;
   std::uint64_t frees = 0;
@@ -70,13 +72,23 @@ class GpuAllocator {
   std::size_t pool_bytes() const { return pool_bytes_; }
   TBuddy& buddy() { return *buddy_; }
   UAlloc& ualloc() { return *ualloc_; }
+  san::HeapSan& heapsan() { return *san_; }
+
+  /// Runtime switch for the HeapSan layer (default: the compile-time
+  /// TOMA_HEAPSAN option). Enabling sanitizes subsequent allocations;
+  /// blocks allocated while enabled stay tracked until freed and evicted,
+  /// so disabling mid-run is always safe.
+  void set_heapsan(bool on) { san_->set_enabled(on); }
+  bool heapsan_enabled() const { return san_->enabled(); }
 
   /// Scavenge cached-but-empty UAlloc bins/chunks back into the buddy
-  /// pool (malloc_trim analogue); flushes the magazines first, then the
-  /// TBuddy quicklists — UAlloc's retired chunks land in the order-6
+  /// pool (malloc_trim analogue); drains the HeapSan quarantine first
+  /// (quarantined blocks pin bins and pages), flushes the magazines, then
+  /// the TBuddy quicklists — UAlloc's retired chunks land in the order-6
   /// quicklist, so the buddy flush must run second for those chunks to
   /// coalesce back into maximal blocks. Returns chunks released.
   std::size_t trim() {
+    if (san_->engaged()) san_->flush_quarantine();
     const std::size_t chunks = ualloc_->trim();
     buddy_->trim();
     return chunks;
@@ -95,10 +107,17 @@ class GpuAllocator {
   }
 
  private:
+  /// Route a rounded request to UAlloc or TBuddy (the paper's size split).
+  void* route_alloc(std::size_t rounded);
+  /// Return an evicted HeapSan base pointer to its owner by alignment,
+  /// without touching the user-facing malloc/free statistics.
+  void free_base(void* base);
+
   std::size_t pool_bytes_;
   void* pool_;
   std::unique_ptr<TBuddy> buddy_;
   std::unique_ptr<UAlloc> ualloc_;
+  std::unique_ptr<san::HeapSan> san_;
 
   mutable std::atomic<std::uint64_t> st_mallocs_{0};
   mutable std::atomic<std::uint64_t> st_failed_{0};

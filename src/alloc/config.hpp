@@ -146,6 +146,21 @@ constexpr std::uint32_t quicklist_low_water(std::uint32_t cap) {
   return cap / 2;
 }
 
+// --- HeapSan sanitizer layer (not in the paper; docs/INTERNALS.md §5) ------
+//
+// Redzones + poison + quarantine + shadow table under GpuAllocator. Freed
+// blocks sit in a bounded quarantine whose bitmap bits / tree nodes /
+// semaphore units stay consumed — the same "cached blocks are still
+// allocated to the accounting" trick the magazines and quicklists use.
+
+/// Compile-time default for the HeapSan layer (CMake option TOMA_HEAPSAN,
+/// default OFF). GpuAllocator::set_heapsan() toggles at runtime; this
+/// macro only selects the starting state, so every build compiles (and
+/// tests) the machinery.
+#ifndef TOMA_HEAPSAN
+#define TOMA_HEAPSAN 0
+#endif
+
 static_assert(kChunkSize / kPageSize == (1u << kChunkOrder));
 static_assert(kBinsPerChunk == 64, "one 64-bit word tracks the chunk bins");
 static_assert(kDataBins == 62, "two header bins leave 62 data bins");

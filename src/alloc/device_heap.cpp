@@ -1,6 +1,8 @@
 #include "alloc/device_heap.hpp"
 
 #include <atomic>
+#include <cstdlib>
+#include <cstring>
 #include <mutex>
 
 namespace toma::alloc {
@@ -26,6 +28,12 @@ GpuAllocator& ensure_device_heap(std::size_t pool_bytes,
     // Intentionally leaked: the implicit heap lives for the process, as
     // CUDA's device heap does.
     auto* created = new GpuAllocator(pool_bytes, num_arenas);
+    // Runtime override of the compile-time HeapSan default for the
+    // implicit heap: TOMA_HEAPSAN=1 (or =0) in the environment, the
+    // no-recompile analogue of ASAN_OPTIONS.
+    if (const char* env = std::getenv("TOMA_HEAPSAN")) {
+      created->set_heapsan(std::strcmp(env, "0") != 0);
+    }
     GpuAllocator* expected = nullptr;
     g_heap.compare_exchange_strong(expected, created,
                                    std::memory_order_acq_rel);

@@ -386,8 +386,10 @@ void TBuddy::free(void* p) {
   const std::size_t page = off / page_size_;
   std::atomic_ref<std::uint8_t> rec(order_of_page_[page]);
   const std::uint8_t order = rec.load(std::memory_order_acquire);
-  TOMA_ASSERT_MSG(order != kNoAllocation,
-                  "double free or foreign pointer passed to TBuddy");
+  TOMA_ASSERT_FMT(order != kNoAllocation,
+                  "TBuddy double free or foreign pointer: %p (page %zu of "
+                  "%zu, pool %p) has no live allocation recorded",
+                  p, page, pool_bytes_ / page_size_, pool_);
   rec.store(kNoAllocation, std::memory_order_release);
   st_frees_.fetch_add(1, std::memory_order_relaxed);
   const std::uint32_t node = node_at(p, order);

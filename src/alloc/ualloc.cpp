@@ -371,7 +371,12 @@ void UAlloc::free(void* p) {
 }
 
 void UAlloc::free_slow(BinHeader* bin, std::uint32_t idx) {
-  bin->bitmap().release_bit(idx);
+  TOMA_ASSERT_FMT(bin->bitmap().try_clear(idx),
+                  "UAlloc double free: block %u of bin %p (class %u, %zu B) "
+                  "in chunk %p of arena %u was already free",
+                  idx, static_cast<void*>(bin), bin->size_class,
+                  size_of_class(bin->size_class),
+                  static_cast<void*>(bin->chunk), bin->chunk->arena->index());
   publish_free_block(bin);
 }
 
@@ -544,7 +549,10 @@ void UAlloc::release_bin_slot(BinHeader* bin) {
   Arena* arena = chunk->arena;
   const std::uint32_t slot = bin->bin_index;
   bin->~BinHeader();  // the header area is dead until the slot is reused
-  chunk->bin_bitmap().release_bit(slot);
+  TOMA_ASSERT_FMT(chunk->bin_bitmap().try_clear(slot),
+                  "UAlloc double release of bin slot %u in chunk %p of "
+                  "arena %u",
+                  slot, static_cast<void*>(chunk), arena->index());
   arena->bin_slots_.signal(1, 0);
   maybe_retire_chunk(chunk);
 }

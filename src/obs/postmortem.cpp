@@ -1,0 +1,82 @@
+#include "obs/postmortem.hpp"
+
+#include <cinttypes>
+#include <cstdio>
+#include <vector>
+
+#include "obs/context.hpp"
+#include "obs/registry.hpp"
+#include "obs/trace.hpp"
+#include "util/assert.hpp"
+
+namespace toma::obs {
+
+namespace {
+
+// Trace records shown for the faulting SM. The ring can hold thousands;
+// a crash report wants the last few scheduler quanta, not the history.
+constexpr std::size_t kMaxPostmortemRecords = 32;
+
+const char* phase_name(TracePhase p) {
+  switch (p) {
+    case TracePhase::kInstant:
+      return "instant";
+    case TracePhase::kBegin:
+      return "begin";
+    case TracePhase::kEnd:
+      return "end";
+  }
+  return "?";
+}
+
+}  // namespace
+
+void postmortem_dump() {
+  std::fputs("\n--- toma postmortem ---\n", stderr);
+
+  const Snapshot snap = registry().snapshot();
+  std::fputs("-- telemetry snapshot --\n", stderr);
+  std::fputs(snap.to_text().c_str(), stderr);
+
+  const std::uint32_t sm = current_sm();
+  std::fprintf(stderr, "-- trace ring (sm %" PRIu32 "%s) --\n", sm,
+               sm >= kShards ? ", host thread" : "");
+  const std::vector<TraceRecord> all = trace_records();
+  // Keep this SM's records only, then the most recent kMaxPostmortemRecords
+  // (trace_records() is sorted by tick already).
+  std::vector<const TraceRecord*> mine;
+  for (const TraceRecord& r : all) {
+    if (r.sm == sm) mine.push_back(&r);
+  }
+  if (mine.empty()) {
+    std::fputs(all.empty()
+                   ? "(tracing disabled or no records captured)\n"
+                   : "(no records for this SM)\n",
+               stderr);
+  } else {
+    const std::size_t first =
+        mine.size() > kMaxPostmortemRecords ? mine.size() - kMaxPostmortemRecords
+                                            : 0;
+    for (std::size_t i = first; i < mine.size(); ++i) {
+      const TraceRecord& r = *mine[i];
+      std::fprintf(stderr,
+                   "  tick %" PRIu64 " warp %" PRIu32 " %-8s %s arg=%" PRIu64
+                   "\n",
+                   r.tick, r.warp, phase_name(r.phase), r.name, r.arg);
+    }
+  }
+  std::fputs("--- end postmortem ---\n", stderr);
+  std::fflush(stderr);
+}
+
+void install_postmortem_hook() {
+  // First call installs; the static guarantees idempotence without racing
+  // a second exchange against a concurrently firing assert.
+  static const bool installed = [] {
+    util::set_fatal_hook(&postmortem_dump);
+    return true;
+  }();
+  (void)installed;
+}
+
+}  // namespace toma::obs

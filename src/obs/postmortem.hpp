@@ -1,0 +1,24 @@
+// Crash-time diagnostics: one shared dump path for fatal asserts and
+// san::report().
+//
+// postmortem_dump() writes the aggregated telemetry snapshot plus the most
+// recent trace-ring records of the *calling* SM to stderr — the flight
+// recorder a crashed run leaves behind. install_postmortem_hook() wires it
+// into util::set_fatal_hook() so every TOMA_ASSERT / TOMA_ASSERT_MSG /
+// TOMA_ASSERT_FMT failure dumps before aborting; the allocator installs it
+// on construction (an explicit call, not a static initializer, so static
+// archive linking cannot drop it).
+#pragma once
+
+namespace toma::obs {
+
+/// Dump the telemetry snapshot and the calling SM's recent trace records
+/// to stderr. Safe to call at any time, including from a failing assert
+/// and during static teardown (the registry is a leaky singleton).
+void postmortem_dump();
+
+/// Install postmortem_dump as the util fatal-assert hook (idempotent;
+/// first call wins, later calls are no-ops).
+void install_postmortem_hook();
+
+}  // namespace toma::obs

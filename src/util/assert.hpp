@@ -2,22 +2,64 @@
 //
 // TOMA_ASSERT   -- always-on invariant check (used on cold paths and in the
 //                  allocator's consistency machinery).
+// TOMA_ASSERT_MSG -- always-on check with a static message.
+// TOMA_ASSERT_FMT -- always-on check with a printf-formatted message, for
+//                  diagnostics that must name the offending object (bit
+//                  index, bin pointer, owning arena, ...).
 // TOMA_DASSERT  -- debug-only check, compiled out in NDEBUG builds (used on
 //                  hot paths such as semaphore CAS loops).
 // TOMA_UNREACHABLE -- marks impossible control flow.
+//
+// A fatal hook (set_fatal_hook) runs once before abort: the obs layer
+// installs a postmortem dump there (telemetry snapshot + the faulting SM's
+// trace ring), so every fatal assert leaves a usable flight record. The
+// hook is consumed on entry, which makes a crashing hook harmless.
 #pragma once
 
+#include <atomic>
+#include <cstdarg>
 #include <cstdio>
 #include <cstdlib>
 
 namespace toma::util {
+
+using FatalHook = void (*)();
+
+namespace detail {
+inline std::atomic<FatalHook> g_fatal_hook{nullptr};
+}  // namespace detail
+
+/// Install `hook` to run (once) before a fatal assert aborts. Returns the
+/// previously installed hook. Pass nullptr to uninstall.
+inline FatalHook set_fatal_hook(FatalHook hook) {
+  return detail::g_fatal_hook.exchange(hook, std::memory_order_acq_rel);
+}
 
 [[noreturn]] inline void assert_fail(const char* expr, const char* file,
                                      int line, const char* msg) {
   std::fprintf(stderr, "toma: assertion `%s` failed at %s:%d%s%s\n", expr,
                file, line, msg ? ": " : "", msg ? msg : "");
   std::fflush(stderr);
+  // One-shot: a hook that itself asserts must not recurse forever.
+  if (FatalHook hook = detail::g_fatal_hook.exchange(
+          nullptr, std::memory_order_acq_rel)) {
+    hook();
+  }
   std::abort();
+}
+
+#if defined(__GNUC__) || defined(__clang__)
+__attribute__((format(printf, 4, 5)))
+#endif
+[[noreturn]] inline void
+assert_fail_fmt(const char* expr, const char* file, int line, const char* fmt,
+                ...) {
+  char buf[512];
+  std::va_list ap;
+  va_start(ap, fmt);
+  std::vsnprintf(buf, sizeof buf, fmt, ap);
+  va_end(ap);
+  assert_fail(expr, file, line, buf);
 }
 
 }  // namespace toma::util
@@ -30,6 +72,12 @@ namespace toma::util {
 #define TOMA_ASSERT_MSG(expr, msg)                                         \
   do {                                                                     \
     if (!(expr)) ::toma::util::assert_fail(#expr, __FILE__, __LINE__, msg); \
+  } while (0)
+
+#define TOMA_ASSERT_FMT(expr, ...)                                         \
+  do {                                                                     \
+    if (!(expr))                                                           \
+      ::toma::util::assert_fail_fmt(#expr, __FILE__, __LINE__, __VA_ARGS__); \
   } while (0)
 
 #ifdef NDEBUG

@@ -90,9 +90,13 @@ class AtomicBitmapRef {
   }
 
   /// Clear bit `i`; asserts the bit was set (double-free detection hook).
+  /// Callers with more context (UAlloc's free paths) run try_clear()
+  /// themselves and report the bin pointer and owning arena too.
   void release_bit(std::uint32_t i) {
-    const bool was_set = try_clear(i);
-    TOMA_ASSERT_MSG(was_set, "bitmap release of an unset bit (double free?)");
+    TOMA_ASSERT_FMT(try_clear(i),
+                    "bitmap release of unset bit %u (of %u) at %p — double "
+                    "free?",
+                    i, nbits_, static_cast<const void*>(words_));
   }
 
   /// Population count over the whole map (not atomic as a whole; intended

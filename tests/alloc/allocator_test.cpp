@@ -50,7 +50,13 @@ TEST_F(GpuAllocatorTest, LargeSizesComeFromTBuddy) {
   for (std::size_t size : {2048, 4096, 10000, 262144}) {
     void* p = ga_.malloc(size);
     ASSERT_NE(p, nullptr);
-    EXPECT_TRUE(util::is_aligned(p, kPageSize)) << "size " << size;
+    if (ga_.heapsan_enabled()) {
+      // HeapSan returns base + left redzone, so the *user* pointer is
+      // deliberately unaligned; the underlying block is still page-aligned.
+      EXPECT_FALSE(util::is_aligned(p, kPageSize)) << "size " << size;
+    } else {
+      EXPECT_TRUE(util::is_aligned(p, kPageSize)) << "size " << size;
+    }
     ga_.free(p);
   }
   EXPECT_TRUE(ga_.check_consistency());
@@ -86,7 +92,11 @@ TEST_F(GpuAllocatorTest, OversizedRequestFailsCleanly) {
 }
 
 TEST_F(GpuAllocatorTest, WholePoolRoundTrip) {
-  void* p = ga_.malloc(ga_.pool_bytes());
+  // Under HeapSan the redzones count against the block, so the largest
+  // satisfiable request is the pool minus both zones.
+  const std::size_t overhead =
+      ga_.heapsan_enabled() ? ga_.heapsan().wrap_size(0) : 0;
+  void* p = ga_.malloc(ga_.pool_bytes() - overhead);
   ASSERT_NE(p, nullptr);
   EXPECT_EQ(ga_.malloc(8), nullptr);  // UAlloc cannot grow a chunk now
   ga_.free(p);
@@ -109,9 +119,15 @@ TEST_F(GpuAllocatorTest, StatsCount) {
 
 TEST_F(GpuAllocatorTest, UsableSize) {
   void* small = ga_.malloc(50);
-  EXPECT_EQ(ga_.usable_size(small), 64u);  // rounded to the class
   void* big = ga_.malloc(5000);
-  EXPECT_EQ(ga_.usable_size(big), 8192u);  // rounded to the order
+  if (ga_.heapsan_enabled()) {
+    // Class slack beyond the request is redzone: usable == requested.
+    EXPECT_EQ(ga_.usable_size(small), 50u);
+    EXPECT_EQ(ga_.usable_size(big), 5000u);
+  } else {
+    EXPECT_EQ(ga_.usable_size(small), 64u);    // rounded to the class
+    EXPECT_EQ(ga_.usable_size(big), 8192u);    // rounded to the order
+  }
   ga_.free(small);
   ga_.free(big);
 }
@@ -189,6 +205,12 @@ TEST_F(GpuAllocatorTest, ReallocSemantics) {
 }
 
 TEST_F(GpuAllocatorTest, ReallocInPlaceFastPath) {
+  if (ga_.heapsan_enabled()) {
+    // The exact class-boundary arithmetic below assumes no redzone
+    // overhead; HeapSanTest.ReallocMovesAndResizesInPlace covers the
+    // sanitized equivalent.
+    GTEST_SKIP() << "boundary sizes assume redzone-free classes";
+  }
   // Any size that rounds to the block's existing capacity returns the same
   // pointer with no copy and no malloc/free — counted in reallocs_inplace.
   auto* p = static_cast<unsigned char*>(ga_.malloc(40));  // 64 B class

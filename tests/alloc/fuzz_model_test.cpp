@@ -85,8 +85,32 @@ void fuzz_worker(GpuAllocator& ga, ShadowModel& model, std::uint64_t seed,
   std::vector<Held> held;
   const auto base = reinterpret_cast<std::uintptr_t>(ga.buddy().pool_base());
   for (int i = 0; i < iters; ++i) {
-    const bool do_free = !held.empty() && rng.next_below(100) < 48;
-    if (do_free) {
+    const std::uint64_t roll = rng.next_below(100);
+    const bool do_free = !held.empty() && roll < 40;
+    const bool do_realloc = !held.empty() && !do_free && roll < 52;
+    if (do_realloc) {
+      // Resize a held block: contents up to min(old, new) must survive,
+      // whether the allocator resized in place or moved the block.
+      const std::size_t k = rng.next_below(held.size());
+      Held h = held[k];
+      const std::size_t new_size =
+          1 + (std::size_t{1} << rng.next_below(max_size_log2));
+      void* np = ga.realloc(h.p, new_size);
+      if (np == nullptr) continue;  // OOM: the old block is untouched
+      auto* c = static_cast<std::uint8_t*>(np);
+      const std::size_t keep = std::min(h.size, new_size);
+      for (std::size_t b = 0; b < keep; ++b) {
+        ASSERT_EQ(c[b], h.fill) << "realloc lost byte " << b;
+      }
+      std::size_t msize;
+      const std::uint8_t fill = model.on_free(h.p, &msize);
+      EXPECT_EQ(fill, h.fill);
+      EXPECT_EQ(msize, h.size);
+      const auto nfill = static_cast<std::uint8_t>(rng.next() | 1);
+      std::memset(np, nfill, new_size);
+      model.on_alloc(np, new_size, nfill, base, ga.pool_bytes());
+      held[k] = Held{np, new_size, nfill};
+    } else if (do_free) {
       const std::size_t k = rng.next_below(held.size());
       Held h = held[k];
       held[k] = held.back();
@@ -160,6 +184,43 @@ TEST(FuzzModel, GpuKernel) {
   });
   EXPECT_EQ(model.live_count(), 0u);
   EXPECT_TRUE(ga.check_consistency());
+  ga.trim();
+  EXPECT_EQ(ga.buddy().largest_free_block(), ga.pool_bytes());
+}
+
+// The caching front-ends (UAlloc magazines, TBuddy quicklists) reroute the
+// hot paths entirely, so the model must hold under every toggle
+// combination — not just the build's compile-time default.
+TEST(FuzzModel, ToggleMatrix) {
+  for (const bool magazines : {false, true}) {
+    for (const bool quicklist : {false, true}) {
+      SCOPED_TRACE(testing::Message() << "magazines=" << magazines
+                                      << " quicklist=" << quicklist);
+      GpuAllocator ga(32 * 1024 * 1024, 2);
+      ga.ualloc().set_magazines(magazines);
+      ga.buddy().set_quicklist(quicklist);
+      ShadowModel model;
+      const std::uint64_t seed =
+          0xAB1E + (magazines ? 2u : 0u) + (quicklist ? 1u : 0u);
+      fuzz_worker(ga, model, seed, 4000, 15, [] {});
+      EXPECT_EQ(model.live_count(), 0u);
+      EXPECT_TRUE(ga.check_consistency());
+      ga.trim();
+      EXPECT_EQ(ga.buddy().largest_free_block(), ga.pool_bytes());
+    }
+  }
+}
+
+// Same model, HeapSan interposed: redzones, poison and the quarantine must
+// be invisible to a correct client (canaries intact, pool still coalesces).
+TEST(FuzzModel, SequentialHeapSan) {
+  GpuAllocator ga(32 * 1024 * 1024, 2);
+  ga.set_heapsan(true);
+  ShadowModel model;
+  fuzz_worker(ga, model, 0x5A17, 6000, 15, [] {});
+  EXPECT_EQ(model.live_count(), 0u);
+  EXPECT_TRUE(ga.check_consistency());
+  EXPECT_EQ(ga.stats().heapsan.live_blocks, 0u);
   ga.trim();
   EXPECT_EQ(ga.buddy().largest_free_block(), ga.pool_bytes());
 }

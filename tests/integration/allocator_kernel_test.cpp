@@ -123,7 +123,12 @@ TEST(Integration, PoolExhaustionBehaviour) {
   gpu::Device dev(test::small_device());
   constexpr std::size_t kPoolBytes = 8 * 1024 * 1024;
   alloc::GpuAllocator ga(kPoolBytes, dev.num_sms());
-  const std::uint64_t n = kPoolBytes / 4096;
+  // Under HeapSan a 4 KB request carries redzones and occupies the next
+  // order up; size the thread count to the block's true pool footprint so
+  // the pool is exactly exhausted in either mode.
+  const std::size_t footprint = alloc::GpuAllocator::effective_size(
+      ga.heapsan_enabled() ? ga.heapsan().wrap_size(4096) : 4096);
+  const std::uint64_t n = kPoolBytes / footprint;
   std::atomic<std::uint64_t> failed{0};
   std::vector<std::atomic<void*>> held(n);
   dev.launch_linear(n, 128, [&](gpu::ThreadCtx& t) {
