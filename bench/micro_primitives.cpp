@@ -127,7 +127,8 @@ BENCHMARK(BM_FiberSwitch);
 // ---- allocators (host-side single thread floor) ----------------------------
 
 void BM_GpuAllocatorMallocFree(benchmark::State& state) {
-  static alloc::GpuAllocator ga(64u << 20, 4);
+  static alloc::GpuAllocator ga(
+      alloc::HeapConfig{.pool_bytes = 64u << 20, .num_arenas = 4});
   const std::size_t size = static_cast<std::size_t>(state.range(0));
   for (auto _ : state) {
     void* p = ga.malloc(size);

@@ -58,7 +58,8 @@ int main(int argc, char** argv) {
       argc > 1 ? static_cast<std::uint32_t>(std::atoi(argv[1])) : 9;
 
   gpu::Device dev(gpu::DeviceConfig{});
-  alloc::GpuAllocator allocator(128 * 1024 * 1024, dev.num_sms());
+  alloc::GpuAllocator allocator(alloc::HeapConfig{
+      .pool_bytes = 128 * 1024 * 1024, .num_arenas = dev.num_sms()});
 
   TaskStack stack;
   std::atomic<std::uint64_t> live_tasks{0};

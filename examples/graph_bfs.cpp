@@ -76,7 +76,8 @@ int main(int argc, char** argv) {
   const Csr g = make_graph(n, /*avg_degree=*/8, /*seed=*/42);
 
   gpu::Device dev(gpu::DeviceConfig{});
-  alloc::GpuAllocator allocator(128 * 1024 * 1024, dev.num_sms());
+  alloc::GpuAllocator allocator(alloc::HeapConfig{
+      .pool_bytes = 128 * 1024 * 1024, .num_arenas = dev.num_sms()});
 
   std::vector<std::uint32_t> dist(n, ~0u);
   std::vector<std::uint32_t> frontier = {0};

@@ -55,7 +55,8 @@ int main(int argc, char** argv) {
   const std::vector<Row> s = make_relation(s_rows, key_space, 13);
 
   gpu::Device dev(gpu::DeviceConfig{});
-  alloc::GpuAllocator allocator(256 * 1024 * 1024, dev.num_sms());
+  alloc::GpuAllocator allocator(alloc::HeapConfig{
+      .pool_bytes = 256 * 1024 * 1024, .num_arenas = dev.num_sms()});
 
   // Bucket heads live in a host array (stands in for a device array);
   // chain nodes come from the device allocator.

@@ -1,0 +1,103 @@
+/* Multi-tenant pools through the stable C facade.
+ *
+ * This example deliberately includes ONLY <toma/toma.h> (plus libc): it
+ * is the API-hygiene canary — if it stops compiling against the public
+ * header alone, the facade leaked an internal dependency. CI builds it
+ * both ways: linked into the normal example set, and syntax-only with
+ * -Iinclude as the single include path (see .github/workflows/ci.yml).
+ *
+ * Story: two tenants share a device. "render" gets a 1 MiB byte quota;
+ * "physics" is unbounded. Render hits its quota (TOMA_ERR_QUOTA, not
+ * OOM — the pool itself has plenty of room) while physics keeps
+ * allocating at full speed. Then a stream-ordered batch: frees parked
+ * with toma_free_async cost nothing until toma_stream_sync drains the
+ * whole batch through the allocator at once.
+ */
+#include <stdio.h>
+#include <stdlib.h>
+
+#include <toma/toma.h>
+
+#define CHECK(cond)                                                \
+  do {                                                             \
+    if (!(cond)) {                                                 \
+      fprintf(stderr, "FAILED at line %d: %s\n", __LINE__, #cond); \
+      exit(1);                                                     \
+    }                                                              \
+  } while (0)
+
+int main(void) {
+  /* --- two tenants, one quota --------------------------------------- */
+  toma_pool_config_t render_cfg = toma_pool_config_default();
+  render_cfg.pool_bytes = 8u << 20;
+  render_cfg.quota_bytes = 1u << 20; /* 1 MiB budget */
+
+  toma_pool_config_t physics_cfg = toma_pool_config_default();
+  physics_cfg.pool_bytes = 8u << 20;
+
+  toma_pool_t render = NULL;
+  toma_pool_t physics = NULL;
+  CHECK(toma_pool_create("render", &render_cfg, &render) == TOMA_OK);
+  CHECK(toma_pool_create("physics", &physics_cfg, &physics) == TOMA_OK);
+
+  /* Render allocates until its quota rejects. */
+  enum { kBlock = 4096, kMax = 1024 };
+  void* held[kMax];
+  size_t n_held = 0;
+  toma_status_t st = TOMA_OK;
+  for (;;) {
+    void* p = toma_malloc(render, kBlock, &st);
+    if (p == NULL) break;
+    CHECK(n_held < kMax);
+    held[n_held++] = p;
+  }
+  printf("render: %zu x %d B allocated, then %s (in use: %zu B)\n", n_held,
+         kBlock, toma_status_str(st), toma_pool_bytes_in_use(render));
+  CHECK(st == TOMA_ERR_QUOTA); /* quota, not OOM: the pool has room */
+
+  /* Physics is unaffected by its neighbour's quota exhaustion. */
+  void* q = toma_malloc(physics, kBlock, &st);
+  CHECK(q != NULL && st == TOMA_OK);
+  printf("physics: allocation still %s while render is at quota\n",
+         toma_status_str(st));
+  toma_free(physics, q);
+
+  while (n_held > 0) toma_free(render, held[--n_held]);
+
+  /* --- stream-ordered batching --------------------------------------- */
+  toma_stream_t stream = toma_stream_create();
+  CHECK(stream != NULL);
+
+  enum { kBatch = 256 };
+  void* batch[kBatch];
+  for (int i = 0; i < kBatch; ++i) {
+    batch[i] = toma_malloc_async(physics, 256, stream, NULL);
+    CHECK(batch[i] != NULL);
+  }
+  for (int i = 0; i < kBatch; ++i) {
+    toma_free_async(physics, batch[i], stream); /* O(1): parked */
+  }
+  /* The blocks are still charged — they are pending, not freed. */
+  CHECK(toma_pool_bytes_in_use(physics) == (size_t)kBatch * 256);
+  size_t drained = toma_stream_sync(stream);
+  printf("stream sync drained %zu deferred frees in one batch\n", drained);
+  CHECK(toma_pool_bytes_in_use(physics) == 0);
+
+  /* Same-stream reuse: a pending free satisfies the next malloc_async
+   * without an allocator round trip. */
+  void* a = toma_malloc_async(physics, 512, stream, NULL);
+  toma_free_async(physics, a, stream);
+  void* b = toma_malloc_async(physics, 512, stream, NULL);
+  CHECK(b == a);
+  printf("same-stream reuse returned the pending block directly\n");
+  toma_free_async(physics, b, stream);
+  toma_stream_sync(stream);
+
+  /* --- teardown ------------------------------------------------------- */
+  toma_trim(physics);
+  toma_stream_destroy(stream);
+  CHECK(toma_pool_destroy(render) == TOMA_OK);
+  CHECK(toma_pool_destroy(physics) == TOMA_OK);
+  printf("ok\n");
+  return 0;
+}

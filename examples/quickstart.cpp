@@ -20,7 +20,8 @@ int main() {
   gpu::Device dev(gpu::DeviceConfig{});
 
   // 64 MB pool, one arena per SM (the paper's configuration).
-  alloc::GpuAllocator allocator(64 * 1024 * 1024, dev.num_sms());
+  alloc::GpuAllocator allocator(alloc::HeapConfig{
+      .pool_bytes = 64 * 1024 * 1024, .num_arenas = dev.num_sms()});
 
   constexpr std::uint64_t kThreads = 100000;
   std::atomic<std::uint64_t> checksum{0};

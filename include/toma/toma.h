@@ -1,0 +1,157 @@
+/* toma.h — the stable C facade of the toma allocator.
+ *
+ * This is the only header external applications should include. It is
+ * plain C99 (compiles as C or C++), exposes opaque handles only, and is
+ * implemented on top of the C++ Pool/PoolManager/StreamFrontEnd layers
+ * (src/alloc). See docs/API.md for the full tour and the migration
+ * table from the legacy device_malloc/device_free globals.
+ *
+ * Quick start:
+ *
+ *   toma_pool_config_t cfg = toma_pool_config_default();
+ *   cfg.pool_bytes  = 16u << 20;
+ *   cfg.quota_bytes = 4u << 20;
+ *   toma_pool_t pool;
+ *   if (toma_pool_create("tenant-a", &cfg, &pool) != TOMA_OK) { ... }
+ *
+ *   toma_stream_t s = toma_stream_create();
+ *   void* p = toma_malloc_async(pool, 256, s, NULL);
+ *   toma_free_async(pool, p, s);      // O(1): parked on the stream
+ *   toma_stream_sync(s);              // batch drains here
+ *   toma_stream_destroy(s);
+ *   toma_pool_destroy(pool);
+ *
+ * Passing a NULL pool to any allocation call means "the default pool"
+ * (created on first use; shared with the legacy device_malloc). Passing
+ * a NULL stream means the process-wide default stream.
+ */
+#ifndef TOMA_TOMA_H
+#define TOMA_TOMA_H
+
+#include <stddef.h>
+
+#ifdef __cplusplus
+extern "C" {
+#endif
+
+/* --- handles and status ------------------------------------------------- */
+
+/* Opaque handles. A toma_pool_t stays valid until toma_pool_destroy; a
+ * toma_stream_t until toma_stream_destroy. */
+typedef struct toma_pool_s* toma_pool_t;
+typedef struct toma_stream_s* toma_stream_t;
+
+/* Why a call failed. A quota rejection (this pool's byte budget) and
+ * true pool exhaustion are different operational events — one alerts the
+ * tenant, the other the operator. */
+typedef enum toma_status {
+  TOMA_OK = 0,
+  TOMA_ERR_INVALID = 1,   /* bad argument (size 0, overflow, bad config) */
+  TOMA_ERR_OOM = 2,       /* pool exhausted at the requested size */
+  TOMA_ERR_QUOTA = 3,     /* the pool's quota_bytes would be exceeded */
+  TOMA_ERR_EXISTS = 4,    /* pool name already taken */
+  TOMA_ERR_NOT_FOUND = 5  /* no pool by that name */
+} toma_status_t;
+
+/* Human-readable name of a status ("TOMA_OK", "TOMA_ERR_QUOTA", ...). */
+const char* toma_status_str(toma_status_t s);
+
+/* --- pool lifecycle ------------------------------------------------------ */
+
+/* release_threshold value meaning "never trim at sync points". */
+#define TOMA_RELEASE_RETAIN_ALL ((size_t)-1)
+
+typedef struct toma_pool_config {
+  size_t pool_bytes;        /* 0 = library default; else a power of two */
+  unsigned num_arenas;      /* 0 = library default (UAlloc arena count)  */
+  size_t quota_bytes;       /* cap on live bytes; 0 = unlimited          */
+  size_t release_threshold; /* trim at sync when more than this many
+                             * bytes sit stranded in caches; 0 = trim
+                             * everything (the CUDA default),
+                             * TOMA_RELEASE_RETAIN_ALL = never           */
+  int heapsan;              /* -1 = build default, 0 = off, 1 = on       */
+  int magazines;            /* -1 = build default, 0 = off, 1 = on       */
+  int quicklist;            /* -1 = build default, 0 = off, 1 = on       */
+  int stream_async;         /* -1 = build default, 0 = off, 1 = on       */
+} toma_pool_config_t;
+
+/* The library defaults (64 MiB pool, unlimited quota, retain-all
+ * threshold, build-default front-ends). Always start from this rather
+ * than zero-initializing: {0} means "trim everything at every sync",
+ * which is CUDA's default but probably not what you want. */
+toma_pool_config_t toma_pool_config_default(void);
+
+/* Create a named pool. `cfg` may be NULL for defaults; `out` may be NULL
+ * when only the side effect matters. TOMA_ERR_EXISTS when the name is
+ * taken, TOMA_ERR_INVALID for a bad name/config. */
+toma_status_t toma_pool_create(const char* name,
+                               const toma_pool_config_t* cfg,
+                               toma_pool_t* out);
+
+/* Destroy a pool: drains pending async frees, then tears the heap down.
+ * All blocks from the pool must already have been freed. The default
+ * pool cannot be destroyed (TOMA_ERR_INVALID). */
+toma_status_t toma_pool_destroy(toma_pool_t pool);
+
+/* Look up a pool by name; NULL when absent. */
+toma_pool_t toma_pool_find(const char* name);
+
+/* The default pool (created on first use with library defaults; the same
+ * heap the legacy device_malloc uses). */
+toma_pool_t toma_default_pool(void);
+
+/* --- synchronous allocation ---------------------------------------------- */
+/* `pool` may be NULL in every call below: the default pool is used. */
+
+void* toma_malloc(toma_pool_t pool, size_t size, toma_status_t* status);
+void toma_free(toma_pool_t pool, void* p);
+void* toma_calloc(toma_pool_t pool, size_t n, size_t size,
+                  toma_status_t* status);
+void* toma_realloc(toma_pool_t pool, void* p, size_t size,
+                   toma_status_t* status);
+
+/* Actual capacity of a live allocation (>= the requested size). */
+size_t toma_usable_size(toma_pool_t pool, void* p);
+
+/* --- stream-ordered allocation ------------------------------------------- */
+
+/* Create/destroy an execution stream. Destroying drains the stream's
+ * pending frees on every pool. NULL stream arguments below mean the
+ * process default stream. */
+toma_stream_t toma_stream_create(void);
+void toma_stream_destroy(toma_stream_t s);
+
+/* malloc ordered after prior work on `s`; may directly reuse a block
+ * pending free on the same stream (no allocator round trip). */
+void* toma_malloc_async(toma_pool_t pool, size_t size, toma_stream_t s,
+                        toma_status_t* status);
+
+/* Defer freeing `p` until `s` next synchronizes. O(1). */
+void toma_free_async(toma_pool_t pool, void* p, toma_stream_t s);
+
+/* Drain `s`'s deferred frees on one pool / on every pool, then apply the
+ * release threshold. Returns the number of frees drained. */
+size_t toma_pool_sync(toma_pool_t pool, toma_stream_t s);
+size_t toma_stream_sync(toma_stream_t s);
+
+/* --- maintenance / introspection ----------------------------------------- */
+
+/* Drain pending frees and scavenge cached memory back to maximal buddy
+ * blocks (malloc_trim analogue). Returns UAlloc chunks released. */
+size_t toma_trim(toma_pool_t pool);
+
+/* Live bytes (block granularity) / quota / release threshold. */
+size_t toma_pool_bytes_in_use(toma_pool_t pool);
+size_t toma_pool_quota(toma_pool_t pool);
+void toma_pool_set_quota(toma_pool_t pool, size_t bytes);
+size_t toma_pool_release_threshold(toma_pool_t pool);
+void toma_pool_set_release_threshold(toma_pool_t pool, size_t bytes);
+
+/* The pool's name (borrowed pointer, valid while the pool lives). */
+const char* toma_pool_name(toma_pool_t pool);
+
+#ifdef __cplusplus
+} /* extern "C" */
+#endif
+
+#endif /* TOMA_TOMA_H */

@@ -25,22 +25,28 @@ std::uint32_t size_class_index(std::size_t rounded) {
 
 }  // namespace
 
-GpuAllocator::GpuAllocator(std::size_t pool_bytes, std::uint32_t num_arenas)
-    : pool_bytes_(pool_bytes) {
-  TOMA_ASSERT(util::is_pow2(pool_bytes));
-  TOMA_ASSERT(pool_bytes >= kChunkSize);
+GpuAllocator::GpuAllocator(const HeapConfig& cfg)
+    : pool_bytes_(cfg.pool_bytes), quota_(cfg.quota_bytes) {
+  TOMA_ASSERT_MSG(cfg.valid(), "invalid HeapConfig");
   // The pool must be aligned to its own size so every buddy block is
   // aligned to its block size (which the free() routing relies on).
-  pool_ = std::aligned_alloc(pool_bytes, pool_bytes);
+  pool_ = std::aligned_alloc(pool_bytes_, pool_bytes_);
   TOMA_ASSERT_MSG(pool_ != nullptr, "pool reservation failed");
-  buddy_ = std::make_unique<TBuddy>(pool_, pool_bytes, kPageSize);
-  ualloc_ = std::make_unique<UAlloc>(*buddy_, num_arenas);
+  buddy_ = std::make_unique<TBuddy>(pool_, pool_bytes_, kPageSize);
+  buddy_->set_quicklist(cfg.quicklist);
+  buddy_->set_cas_claim(cfg.cas_claim);
+  ualloc_ = std::make_unique<UAlloc>(*buddy_, cfg.num_arenas);
+  ualloc_->set_magazines(cfg.magazines);
   san_ = std::make_unique<san::HeapSan>(
       san::HeapSanConfig{}, [this](void* base) { free_base(base); });
-  san_->set_enabled(TOMA_HEAPSAN != 0);
+  san_->set_enabled(cfg.heapsan);
   // Fatal asserts anywhere below us should leave a flight record.
   obs::install_postmortem_hook();
 }
+
+GpuAllocator::GpuAllocator(std::size_t pool_bytes, std::uint32_t num_arenas)
+    : GpuAllocator(HeapConfig{.pool_bytes = pool_bytes,
+                              .num_arenas = num_arenas}) {}
 
 GpuAllocator::~GpuAllocator() {
   // Verify redzones/poison and report leaks while the allocators are still
@@ -68,48 +74,86 @@ void* GpuAllocator::route_alloc(std::size_t rounded) {
 }
 
 void GpuAllocator::free_base(void* base) {
+  // The quota charge is released here — the one point where memory
+  // actually returns to the underlying allocators (direct frees and
+  // quarantine evictions both funnel through). The capacity is read
+  // before the free: afterwards the block may be reused instantly.
+  std::size_t charged;
   if (util::is_aligned(base, kPageSize)) {
+    charged = buddy_->allocation_size(base);
     buddy_->free(base);
   } else {
+    charged = ualloc_->usable_size(base);
     ualloc_->free(base);
+  }
+  in_use_.fetch_sub(charged, std::memory_order_relaxed);
+}
+
+bool GpuAllocator::reserve_bytes(std::size_t n) {
+  if (quota_.load(std::memory_order_relaxed) == 0) {
+    in_use_.fetch_add(n, std::memory_order_relaxed);
+    return true;
+  }
+  std::size_t cur = in_use_.load(std::memory_order_relaxed);
+  for (;;) {
+    if (cur + n > quota_.load(std::memory_order_relaxed)) return false;
+    if (in_use_.compare_exchange_weak(cur, cur + n,
+                                      std::memory_order_relaxed)) {
+      return true;
+    }
   }
 }
 
-void* GpuAllocator::malloc(std::size_t size) {
-  if (size == 0) return nullptr;
+void* GpuAllocator::malloc(std::size_t size, AllocStatus* status) {
+  if (size == 0) {
+    if (status != nullptr) *status = AllocStatus::kInvalidArg;
+    return nullptr;
+  }
   st_mallocs_.fetch_add(1, std::memory_order_relaxed);
   TOMA_CTR_INC("alloc.malloc");
   [[maybe_unused]] const std::uint64_t t0 = TOMA_NOW_NS();
-  void* p;
-  std::size_t rounded;
-  if (san_->enabled()) {
-    // Sanitized path: the underlying request grows by two redzones; the
-    // user pointer sits one redzone into the slot. Routing and class
-    // rounding apply to the *wrapped* size.
-    const std::size_t wrapped = san_->wrap_size(size);
-    rounded = util::round_up_pow2(wrapped < kMinAlloc ? kMinAlloc : wrapped);
+  const bool sanitized = san_->enabled();
+  // Sanitized path: the underlying request grows by two redzones; the
+  // user pointer sits one redzone into the slot. Routing and class
+  // rounding apply to the *wrapped* size.
+  const std::size_t wrapped = sanitized ? san_->wrap_size(size) : size;
+  const std::size_t rounded =
+      util::round_up_pow2(wrapped < kMinAlloc ? kMinAlloc : wrapped);
+  const std::size_t charge = charged_size(rounded);
+  if (!reserve_bytes(charge) &&
+      !(san_->engaged() && san_->flush_quarantine() > 0 &&
+        reserve_bytes(charge))) {
+    // Quota rejection — quarantined blocks count against the quota until
+    // evicted, so the quarantine is flushed before the verdict is final.
+    st_failed_.fetch_add(1, std::memory_order_relaxed);
+    st_quota_rejects_.fetch_add(1, std::memory_order_relaxed);
+    TOMA_CTR_INC("alloc.failed");
+    TOMA_CTR_INC("alloc.quota_reject");
+    TOMA_TRACE("alloc.quota", size);
+    if (status != nullptr) *status = AllocStatus::kQuota;
+    return nullptr;
+  }
+  void* p = route_alloc(rounded);
+  if (p == nullptr && san_->engaged() && san_->flush_quarantine() > 0) {
+    // Quarantined blocks pin real memory; under pool pressure they are
+    // reclaimed before OOM is declared (same contract as the magazine
+    // and quicklist flushes inside the allocators).
     p = route_alloc(rounded);
-    if (p == nullptr && san_->flush_quarantine() > 0) {
-      // Quarantined blocks pin real memory; under pool pressure they are
-      // reclaimed before OOM is declared (same contract as the magazine
-      // and quicklist flushes inside the allocators).
-      p = route_alloc(rounded);
-    }
-    if (p != nullptr) p = san_->on_alloc(p, effective_size(wrapped), size);
-  } else {
-    rounded = util::round_up_pow2(size < kMinAlloc ? kMinAlloc : size);
-    p = route_alloc(rounded);
-    if (p == nullptr && san_->engaged() && san_->flush_quarantine() > 0) {
-      p = route_alloc(rounded);  // mixed mode: quarantine still pins memory
-    }
+  }
+  if (p != nullptr && sanitized) {
+    p = san_->on_alloc(p, effective_size(wrapped), size);
   }
   TOMA_HISTV("alloc.malloc_ns", kSizeClassBuckets, size_class_index(rounded),
              TOMA_NOW_NS() - t0);
   if (p == nullptr) {
+    in_use_.fetch_sub(charge, std::memory_order_relaxed);
     st_failed_.fetch_add(1, std::memory_order_relaxed);
     TOMA_CTR_INC("alloc.failed");
     TOMA_TRACE("alloc.oom", size);
+    if (status != nullptr) *status = AllocStatus::kOom;
+    return nullptr;
   }
+  if (status != nullptr) *status = AllocStatus::kOk;
   return p;
 }
 
@@ -130,7 +174,8 @@ void GpuAllocator::free(void* p) {
   TOMA_HIST("alloc.free_ns", TOMA_NOW_NS() - t0);
 }
 
-void* GpuAllocator::calloc(std::size_t n, std::size_t size) {
+void* GpuAllocator::calloc(std::size_t n, std::size_t size,
+                           AllocStatus* status) {
   if (n != 0 && size > SIZE_MAX / n) {
     // Overflowing requests are failed allocation attempts, not silent
     // no-ops: count them so mallocs == frees + failed_mallocs stays an
@@ -139,20 +184,23 @@ void* GpuAllocator::calloc(std::size_t n, std::size_t size) {
     st_failed_.fetch_add(1, std::memory_order_relaxed);
     TOMA_CTR_INC("alloc.malloc");
     TOMA_CTR_INC("alloc.failed");
+    if (status != nullptr) *status = AllocStatus::kInvalidArg;
     return nullptr;
   }
   const std::size_t total = n * size;
-  void* p = malloc(total);
+  void* p = malloc(total, status);
   if (p != nullptr) std::memset(p, 0, total);
   return p;
 }
 
-void* GpuAllocator::realloc(void* p, std::size_t size) {
-  if (p == nullptr) return malloc(size);
+void* GpuAllocator::realloc(void* p, std::size_t size, AllocStatus* status) {
+  if (p == nullptr) return malloc(size, status);
   if (size == 0) {
     free(p);
+    if (status != nullptr) *status = AllocStatus::kOk;
     return nullptr;
   }
+  if (status != nullptr) *status = AllocStatus::kOk;
   st_reallocs_.fetch_add(1, std::memory_order_relaxed);
   TOMA_CTR_INC("alloc.realloc");
   std::size_t san_old = 0;
@@ -164,7 +212,7 @@ void* GpuAllocator::realloc(void* p, std::size_t size) {
       TOMA_CTR_INC("alloc.realloc_inplace");
       return p;
     }
-    void* q = malloc(size);
+    void* q = malloc(size, status);
     if (q == nullptr) return nullptr;
     std::memcpy(q, p, std::min(san_old, size));
     free(p);
@@ -179,7 +227,7 @@ void* GpuAllocator::realloc(void* p, std::size_t size) {
     TOMA_CTR_INC("alloc.realloc_inplace");
     return p;
   }
-  void* q = malloc(size);
+  void* q = malloc(size, status);
   if (q == nullptr) return nullptr;
   std::memcpy(q, p, std::min(old_cap, size));
   free(p);
@@ -206,6 +254,9 @@ GpuAllocatorStats GpuAllocator::stats() const {
   s.frees = st_frees_.load(std::memory_order_relaxed);
   s.reallocs = st_reallocs_.load(std::memory_order_relaxed);
   s.reallocs_inplace = st_reallocs_inplace_.load(std::memory_order_relaxed);
+  s.quota_rejects = st_quota_rejects_.load(std::memory_order_relaxed);
+  s.bytes_in_use = in_use_.load(std::memory_order_relaxed);
+  s.quota_bytes = quota_.load(std::memory_order_relaxed);
   return s;
 }
 

@@ -21,6 +21,56 @@
 
 namespace toma::alloc {
 
+/// Why an allocation attempt returned nullptr. Surfaced through the
+/// status out-parameters below and mapped to `toma_status_t` by the C
+/// facade (include/toma/toma.h) — a quota rejection and true pool
+/// exhaustion are different operational events and alert differently.
+enum class AllocStatus : std::uint8_t {
+  kOk = 0,
+  kInvalidArg,  // size 0 / overflowing count*size
+  kOom,         // pool exhausted at the routed size (true exhaustion)
+  kQuota,       // the per-pool byte quota would be exceeded
+};
+
+/// `release_threshold` value meaning "never auto-trim on stream sync".
+inline constexpr std::size_t kReleaseRetainAll = SIZE_MAX;
+
+/// Construction parameters for a heap/pool. Replaces the positional
+/// `(pool_bytes, num_arenas)` constructors: designated initializers keep
+/// call sites readable as the knob count grows —
+///
+///   GpuAllocator a(HeapConfig{.pool_bytes = 16 << 20, .quota_bytes = 1 << 20});
+///
+/// Defaults reproduce the previous constructor's behaviour exactly (the
+/// compile-time front-end toggles, no quota, retain-all threshold).
+struct HeapConfig {
+  /// Pool reservation (a power of two >= kChunkSize; the host-side
+  /// analogue of cudaMalloc'ing the pool).
+  std::size_t pool_bytes = 64 << 20;
+  /// UAlloc arena count; normally the device's SM count.
+  std::uint32_t num_arenas = 8;
+  /// Byte quota on live allocations (charged at block granularity);
+  /// 0 = unlimited (only the pool itself bounds usage).
+  std::size_t quota_bytes = 0;
+  /// Stream-sync trim threshold: when a sync point observes more than
+  /// this many bytes stranded in caches/partial bins, the pool trims
+  /// (CUDA's cudaMemPoolAttrReleaseThreshold analogue; CUDA defaults to
+  /// 0 = release everything, we default to retain-all — the
+  /// throughput-oriented choice).
+  std::size_t release_threshold = kReleaseRetainAll;
+  bool heapsan = TOMA_HEAPSAN != 0;
+  bool magazines = TOMA_UALLOC_MAGAZINES != 0;
+  bool quicklist = TOMA_TBUDDY_QUICKLIST != 0;
+  bool cas_claim = TOMA_TBUDDY_CAS_CLAIM != 0;
+
+  /// Constructible without asserting? (The C facade validates before
+  /// constructing; the constructor itself still asserts.)
+  bool valid() const {
+    return util::is_pow2(pool_bytes) && pool_bytes >= kChunkSize &&
+           num_arenas >= 1;
+  }
+};
+
 struct GpuAllocatorStats {
   TBuddyStats buddy;
   UAllocStats ualloc;
@@ -30,13 +80,17 @@ struct GpuAllocatorStats {
   std::uint64_t frees = 0;
   std::uint64_t reallocs = 0;          // realloc calls that resized (p, n>0)
   std::uint64_t reallocs_inplace = 0;  // ...of which returned p unchanged
+  std::uint64_t quota_rejects = 0;     // failed_mallocs due to the quota
+  std::size_t bytes_in_use = 0;        // live bytes at block granularity
+  std::size_t quota_bytes = 0;         // 0 = unlimited
 };
 
 class GpuAllocator {
  public:
-  /// Create an allocator over a freshly reserved pool of `pool_bytes`
-  /// (a power of two; the host-side analogue of cudaMalloc'ing the pool).
-  /// `num_arenas` is normally the device's SM count.
+  explicit GpuAllocator(const HeapConfig& cfg);
+
+  /// Legacy positional form; equivalent to
+  /// HeapConfig{.pool_bytes = pool_bytes, .num_arenas = num_arenas}.
   GpuAllocator(std::size_t pool_bytes, std::uint32_t num_arenas);
   ~GpuAllocator();
 
@@ -44,14 +98,16 @@ class GpuAllocator {
   GpuAllocator& operator=(const GpuAllocator&) = delete;
 
   /// Device-side malloc. Returns nullptr for size 0, oversized requests,
-  /// or pool exhaustion.
-  void* malloc(std::size_t size);
+  /// pool exhaustion, or quota rejection; `status` (optional) reports
+  /// which.
+  void* malloc(std::size_t size, AllocStatus* status = nullptr);
 
   /// Device-side free. nullptr is ignored.
   void free(void* p);
 
   /// Zero-initialized allocation of n*size bytes (overflow-checked).
-  void* calloc(std::size_t n, std::size_t size);
+  void* calloc(std::size_t n, std::size_t size,
+               AllocStatus* status = nullptr);
 
   /// Standard realloc semantics: grows/shrinks `p` to `size` bytes,
   /// preserving min(old, new) bytes; realloc(nullptr, s) == malloc(s);
@@ -60,7 +116,7 @@ class GpuAllocator {
   /// size rounds to the block's existing capacity (same size class /
   /// buddy order), `p` is returned unchanged — no copy, no free/malloc
   /// round trip (counted in stats().reallocs_inplace).
-  void* realloc(void* p, std::size_t size);
+  void* realloc(void* p, std::size_t size, AllocStatus* status = nullptr);
 
   /// Actual byte capacity of a live allocation (>= the requested size).
   std::size_t usable_size(void* p) const;
@@ -70,6 +126,30 @@ class GpuAllocator {
   static std::size_t effective_size(std::size_t size);
 
   std::size_t pool_bytes() const { return pool_bytes_; }
+
+  // --- quota ---------------------------------------------------------------
+  // Live bytes are charged at block granularity (the rounded class/order
+  // size — what the request actually occupies) when a block leaves the
+  // underlying allocators and uncharged when it returns. Blocks parked in
+  // the magazines/quicklists are pool-level caches, not tenant usage, so
+  // they are not charged; HeapSan-quarantined blocks *are* still charged
+  // (they pin real memory until evicted — a quota-hit pool under HeapSan
+  // flushes its quarantine and retries before rejecting).
+
+  /// Live bytes right now (block-granular).
+  std::size_t bytes_in_use() const {
+    return in_use_.load(std::memory_order_relaxed);
+  }
+  /// Current quota (0 = unlimited).
+  std::size_t quota_bytes() const {
+    return quota_.load(std::memory_order_relaxed);
+  }
+  /// Adjust the quota at runtime. Lowering below current usage rejects
+  /// new allocations until usage drains — existing blocks are unaffected.
+  void set_quota(std::size_t bytes) {
+    quota_.store(bytes, std::memory_order_relaxed);
+  }
+
   TBuddy& buddy() { return *buddy_; }
   UAlloc& ualloc() { return *ualloc_; }
   san::HeapSan& heapsan() { return *san_; }
@@ -112,18 +192,30 @@ class GpuAllocator {
   /// Return an evicted HeapSan base pointer to its owner by alignment,
   /// without touching the user-facing malloc/free statistics.
   void free_base(void* base);
+  /// Bytes a request rounded to `rounded` occupies in its owner (the
+  /// quota charge; equals the block's usable capacity).
+  static std::size_t charged_size(std::size_t rounded) {
+    return rounded <= kMaxUAllocSize
+               ? rounded
+               : util::align_up(rounded, kPageSize);
+  }
+  /// Quota admission: charge `n` bytes, or fail without charging.
+  bool reserve_bytes(std::size_t n);
 
   std::size_t pool_bytes_;
   void* pool_;
   std::unique_ptr<TBuddy> buddy_;
   std::unique_ptr<UAlloc> ualloc_;
   std::unique_ptr<san::HeapSan> san_;
+  std::atomic<std::size_t> quota_{0};
+  std::atomic<std::size_t> in_use_{0};
 
   mutable std::atomic<std::uint64_t> st_mallocs_{0};
   mutable std::atomic<std::uint64_t> st_failed_{0};
   mutable std::atomic<std::uint64_t> st_frees_{0};
   mutable std::atomic<std::uint64_t> st_reallocs_{0};
   mutable std::atomic<std::uint64_t> st_reallocs_inplace_{0};
+  mutable std::atomic<std::uint64_t> st_quota_rejects_{0};
 };
 
 }  // namespace toma::alloc

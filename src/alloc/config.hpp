@@ -146,6 +146,30 @@ constexpr std::uint32_t quicklist_low_water(std::uint32_t cap) {
   return cap / 2;
 }
 
+// --- stream-ordered front-end (not in the paper; docs/INTERNALS.md §6) -----
+//
+// Per-(pool, stream) deferred free lists in front of the whole allocator:
+// free_async parks the block on its stream (bitmap bit / tree node / quota
+// charge stay claimed — the magazines' invariant trick one layer up), and
+// the batch drains through the normal free path at the stream's next sync
+// point. malloc_async may reuse a same-stream pending block directly:
+// stream order guarantees the old use finished before the new one starts,
+// the same observation cudaMallocAsync's memory pools exploit.
+
+/// Compile-time default for the stream-ordered async front-end (CMake
+/// option TOMA_STREAM_ASYNC, default ON). Pool::set_async() toggles at
+/// runtime; this macro only selects the starting state, so an async-OFF
+/// build still compiles (and tests) the machinery — free_async then
+/// degenerates to an immediate synchronous free.
+#ifndef TOMA_STREAM_ASYNC
+#define TOMA_STREAM_ASYNC 1
+#endif
+
+/// Deferred frees one (pool, stream) slot may hold before free_async
+/// drains it inline — bounds how much memory pending batches can strand
+/// on a stream that never synchronizes.
+inline constexpr std::uint32_t kStreamPendingCap = 4096;
+
 // --- HeapSan sanitizer layer (not in the paper; docs/INTERNALS.md §5) ------
 //
 // Redzones + poison + quarantine + shadow table under GpuAllocator. Freed

@@ -20,18 +20,29 @@ namespace toma::alloc {
 /// uninstall). Returns the previously installed heap.
 GpuAllocator* set_device_heap(GpuAllocator* heap);
 
+/// Install `heap` only when no heap is installed (CAS nullptr -> heap).
+/// Returns true when `heap` became the device heap. Lets the default
+/// pool back the legacy globals without clobbering an explicit install.
+bool install_device_heap_if_absent(GpuAllocator* heap);
+
 /// The installed heap, or nullptr.
 GpuAllocator* device_heap();
 
-/// Lazily create-and-install a default heap of `pool_bytes` (first call
-/// wins; subsequent calls return the existing heap regardless of size).
-/// The lazily created heap lives until process exit.
-GpuAllocator& ensure_device_heap(std::size_t pool_bytes = 64 << 20,
-                                 std::uint32_t num_arenas = 8);
+/// Lazily create-and-install a default heap (first call wins). The heap
+/// is the PoolManager's "default" pool, so device_malloc and the toma_*
+/// C API share one pool. `pool_bytes`/`num_arenas` of 0 mean "don't
+/// care" (library defaults). When a heap already exists and an explicit
+/// non-zero `pool_bytes` disagrees with its actual size, the request is
+/// NOT honoured — that mismatch bumps the `device_heap.ensure_mismatch`
+/// counter and warns once per process instead of failing silently.
+GpuAllocator& ensure_device_heap(std::size_t pool_bytes = 0,
+                                 std::uint32_t num_arenas = 0);
 
-/// The standard C interface as device code sees it. device_malloc uses
-/// ensure_device_heap() when none is installed, matching CUDA's implicit
-/// default heap.
+/// The standard C interface as device code sees it — legacy thin
+/// wrappers over the PoolManager's "default" pool (created on first use
+/// via ensure_device_heap, matching CUDA's implicit default heap). New
+/// code should prefer the toma_* C facade (include/toma/toma.h) or
+/// Pool/PoolManager directly.
 void* device_malloc(std::size_t size);
 void device_free(void* p);
 

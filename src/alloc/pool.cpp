@@ -1,0 +1,205 @@
+#include "alloc/pool.hpp"
+
+#include "alloc/device_heap.hpp"
+#include "obs/telemetry.hpp"
+
+namespace toma::alloc {
+
+Pool::Pool(std::string name, const HeapConfig& cfg)
+    : name_(std::move(name)),
+      alloc_(cfg),
+      streams_(alloc_),
+      release_threshold_(cfg.release_threshold) {
+  TOMA_CTR_INC("pool.create");
+}
+
+Pool::~Pool() {
+  streams_.sync_all();
+  if (device_heap() == &alloc_) set_device_heap(nullptr);
+  TOMA_CTR_INC("pool.destroy");
+}
+
+void* Pool::malloc_async(std::size_t size, gpu::Stream& s,
+                         AllocStatus* status) {
+  // Reuse is disabled while HeapSan is engaged: a sanitized pointer is
+  // not a raw block base, and handing it back without the redzone /
+  // shadow bookkeeping would blind the sanitizer.
+  if (async_enabled() && size != 0 && !alloc_.heapsan().engaged()) {
+    const std::size_t effective = GpuAllocator::effective_size(size);
+    if (void* p = streams_.try_reuse(effective, s)) {
+      if (status != nullptr) *status = AllocStatus::kOk;
+      return p;
+    }
+  }
+  return alloc_.malloc(size, status);
+}
+
+void Pool::free_async(void* p, gpu::Stream& s) {
+  if (p == nullptr) return;
+  if (!async_enabled() || alloc_.heapsan().engaged()) {
+    // Degenerate (paper-faithful) mode: the ordering contract holds
+    // trivially because the free completes before free_async returns.
+    TOMA_CTR_INC("pool.stream.passthrough");
+    alloc_.free(p);
+    return;
+  }
+  streams_.free_async(p, s);
+}
+
+std::size_t Pool::sync(gpu::Stream& s) {
+  const std::size_t n = streams_.sync(s);
+  st_syncs_.fetch_add(1, std::memory_order_relaxed);
+  TOMA_CTR_INC("pool.sync");
+  maybe_release();
+  return n;
+}
+
+std::size_t Pool::sync_all() {
+  const std::size_t n = streams_.sync_all();
+  st_syncs_.fetch_add(1, std::memory_order_relaxed);
+  maybe_release();
+  return n;
+}
+
+std::size_t Pool::release_stream(gpu::Stream& s) {
+  const std::size_t n = streams_.release_stream(s);
+  maybe_release();
+  return n;
+}
+
+std::size_t Pool::trim() {
+  streams_.sync_all();
+  return alloc_.trim();
+}
+
+void Pool::set_async(bool on) {
+  async_on_.store(on, std::memory_order_relaxed);
+  if (!on) streams_.sync_all();
+}
+
+std::size_t Pool::stranded_bytes() const {
+  // pool = live blocks + tree-accounted free space + everything stranded
+  // in between (front-end caches, partial bins, quarantine, pending
+  // async frees). Saturating: the three reads race with concurrent
+  // allocation, and an instantaneous overshoot must not wrap.
+  const std::size_t pool = alloc_.pool_bytes();
+  const std::size_t used = alloc_.bytes_in_use();
+  const std::size_t tree_free =
+      const_cast<GpuAllocator&>(alloc_).buddy().free_bytes();
+  const std::size_t accounted = used + tree_free;
+  return accounted >= pool ? 0 : pool - accounted;
+}
+
+void Pool::maybe_release() {
+  const std::size_t threshold =
+      release_threshold_.load(std::memory_order_relaxed);
+  if (threshold == kReleaseRetainAll) return;
+  if (stranded_bytes() <= threshold) return;
+  alloc_.trim();
+  st_threshold_trims_.fetch_add(1, std::memory_order_relaxed);
+  TOMA_CTR_INC("pool.threshold_trim");
+}
+
+PoolStats Pool::stats() const {
+  PoolStats s;
+  s.alloc = alloc_.stats();
+  s.stream = streams_.stats();
+  s.syncs = st_syncs_.load(std::memory_order_relaxed);
+  s.threshold_trims = st_threshold_trims_.load(std::memory_order_relaxed);
+  s.bytes_in_use = alloc_.bytes_in_use();
+  s.quota_bytes = alloc_.quota_bytes();
+  s.release_threshold = release_threshold_.load(std::memory_order_relaxed);
+  return s;
+}
+
+// --- PoolManager -----------------------------------------------------------
+
+PoolManager& PoolManager::instance() {
+  // Leaky: the default pool may back the device heap until process exit.
+  static PoolManager* m = new PoolManager();
+  return *m;
+}
+
+Pool* PoolManager::create(const std::string& name, const HeapConfig& cfg) {
+  if (name.empty() || !cfg.valid()) return nullptr;
+  std::lock_guard<std::mutex> g(mu_);
+  auto [it, inserted] = pools_.try_emplace(name);
+  if (!inserted) return nullptr;
+  it->second = std::make_unique<Pool>(name, cfg);
+  return it->second.get();
+}
+
+Pool* PoolManager::find(const std::string& name) const {
+  std::lock_guard<std::mutex> g(mu_);
+  auto it = pools_.find(name);
+  return it != pools_.end() ? it->second.get() : nullptr;
+}
+
+bool PoolManager::destroy(const std::string& name) {
+  if (name == kDefaultName) return false;
+  std::unique_ptr<Pool> doomed;
+  {
+    std::lock_guard<std::mutex> g(mu_);
+    auto it = pools_.find(name);
+    if (it == pools_.end()) return false;
+    doomed = std::move(it->second);
+    pools_.erase(it);
+  }
+  // Destruction (drain + allocator teardown) runs outside the manager
+  // lock so a slow teardown cannot stall unrelated pool lookups.
+  doomed.reset();
+  return true;
+}
+
+Pool& PoolManager::default_pool(const HeapConfig& cfg) {
+  Pool* pool;
+  {
+    std::lock_guard<std::mutex> g(mu_);
+    auto [it, inserted] = pools_.try_emplace(kDefaultName);
+    if (inserted) it->second = std::make_unique<Pool>(kDefaultName, cfg);
+    pool = it->second.get();
+  }
+  // Back the legacy device_malloc/device_free globals unless the
+  // application installed its own heap first.
+  install_device_heap_if_absent(&pool->allocator());
+  return *pool;
+}
+
+std::size_t PoolManager::sync_stream(gpu::Stream& s) {
+  std::vector<Pool*> all;
+  {
+    std::lock_guard<std::mutex> g(mu_);
+    all.reserve(pools_.size());
+    for (auto& [name, pool] : pools_) all.push_back(pool.get());
+  }
+  std::size_t n = 0;
+  for (Pool* pool : all) n += pool->sync(s);
+  return n;
+}
+
+std::size_t PoolManager::release_stream(gpu::Stream& s) {
+  std::vector<Pool*> all;
+  {
+    std::lock_guard<std::mutex> g(mu_);
+    all.reserve(pools_.size());
+    for (auto& [name, pool] : pools_) all.push_back(pool.get());
+  }
+  std::size_t n = 0;
+  for (Pool* pool : all) n += pool->release_stream(s);
+  return n;
+}
+
+std::vector<std::string> PoolManager::names() const {
+  std::lock_guard<std::mutex> g(mu_);
+  std::vector<std::string> out;
+  out.reserve(pools_.size());
+  for (const auto& [name, pool] : pools_) out.push_back(name);
+  return out;
+}
+
+std::size_t PoolManager::pool_count() const {
+  std::lock_guard<std::mutex> g(mu_);
+  return pools_.size();
+}
+
+}  // namespace toma::alloc

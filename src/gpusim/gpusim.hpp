@@ -5,5 +5,6 @@
 #include "gpusim/config.hpp"
 #include "gpusim/device.hpp"
 #include "gpusim/kernel.hpp"
+#include "gpusim/stream.hpp"
 #include "gpusim/this_thread.hpp"
 #include "gpusim/warp.hpp"

@@ -5,7 +5,9 @@
 #include <atomic>
 #include <cstring>
 
+#include "alloc/pool.hpp"
 #include "gpusim/gpusim.hpp"
+#include "obs/telemetry.hpp"
 #include "support/test_support.hpp"
 
 namespace toma::alloc {
@@ -58,6 +60,43 @@ TEST(DeviceHeap, KernelUsesGlobalInterface) {
   });
   EXPECT_EQ(ok.load(), 2048u);
   EXPECT_TRUE(heap.check_consistency());
+}
+
+TEST(DeviceHeap, EnsureMismatchIsReportedNotSilent) {
+  // Regression: ensure_device_heap used to ignore a conflicting
+  // pool_bytes request silently. It still returns the existing heap, but
+  // the mismatch must now be observable.
+  GpuAllocator heap(4 * 1024 * 1024, 2);
+  GpuAllocator* prev = set_device_heap(&heap);
+#if TOMA_TELEMETRY
+  const std::uint64_t before =
+      obs::registry().counter("device_heap.ensure_mismatch").value();
+#endif
+  GpuAllocator& got = ensure_device_heap(8 * 1024 * 1024);
+  EXPECT_EQ(&got, &heap);  // the request did NOT resize/replace the heap
+#if TOMA_TELEMETRY
+  EXPECT_EQ(obs::registry().counter("device_heap.ensure_mismatch").value(),
+            before + 1);
+#endif
+  // "Don't care" (0) and matching sizes are not mismatches.
+  ensure_device_heap();
+  ensure_device_heap(4 * 1024 * 1024);
+#if TOMA_TELEMETRY
+  EXPECT_EQ(obs::registry().counter("device_heap.ensure_mismatch").value(),
+            before + 1);
+#endif
+  set_device_heap(prev);
+}
+
+TEST(DeviceHeap, LazyCreationRoutesThroughDefaultPool) {
+  // The implicit heap is the PoolManager's default pool, so the legacy
+  // globals and the toma_* C API share one heap.
+  GpuAllocator* prev = set_device_heap(nullptr);
+  GpuAllocator& heap = ensure_device_heap();
+  EXPECT_TRUE(PoolManager::instance().has_default());
+  EXPECT_EQ(&heap, &PoolManager::instance().default_pool().allocator());
+  EXPECT_EQ(device_heap(), &heap);
+  set_device_heap(prev);
 }
 
 }  // namespace

@@ -1,0 +1,252 @@
+#include "alloc/pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <vector>
+
+#include "alloc/device_heap.hpp"
+#include "gpusim/gpusim.hpp"
+#include "support/test_support.hpp"
+
+namespace toma::alloc {
+namespace {
+
+constexpr std::size_t kMiB = 1024 * 1024;
+
+HeapConfig small_cfg() {
+  return HeapConfig{.pool_bytes = 4 * kMiB, .num_arenas = 2};
+}
+
+TEST(HeapConfig, DefaultsMatchLegacyConstructor) {
+  GpuAllocator legacy(4 * kMiB, 2);
+  GpuAllocator configured(small_cfg());
+  EXPECT_EQ(legacy.pool_bytes(), configured.pool_bytes());
+  EXPECT_EQ(legacy.quota_bytes(), 0u);
+  EXPECT_EQ(configured.quota_bytes(), 0u);
+}
+
+TEST(HeapConfig, Validity) {
+  EXPECT_TRUE(HeapConfig{}.valid());
+  EXPECT_FALSE(HeapConfig{.pool_bytes = 3 * kMiB}.valid());       // not pow2
+  EXPECT_FALSE(HeapConfig{.pool_bytes = kChunkSize / 2}.valid());  // too small
+  EXPECT_FALSE(HeapConfig{.num_arenas = 0}.valid());
+}
+
+TEST(Quota, RejectsWithQuotaStatusAndRecovers) {
+  HeapConfig cfg = small_cfg();
+  cfg.quota_bytes = 64 * 1024;
+  GpuAllocator a(cfg);
+
+  std::vector<void*> held;
+  AllocStatus st = AllocStatus::kOk;
+  for (;;) {
+    void* p = a.malloc(1024, &st);
+    if (p == nullptr) break;
+    held.push_back(p);
+  }
+  EXPECT_EQ(st, AllocStatus::kQuota);
+  EXPECT_EQ(held.size(), 64u);  // 64 KiB quota / 1 KiB blocks
+  EXPECT_EQ(a.bytes_in_use(), cfg.quota_bytes);
+  EXPECT_GE(a.stats().quota_rejects, 1u);
+
+  // Usage drains -> the quota admits again.
+  a.free(held.back());
+  held.pop_back();
+  void* p = a.malloc(1024, &st);
+  EXPECT_NE(p, nullptr);
+  EXPECT_EQ(st, AllocStatus::kOk);
+  held.push_back(p);
+
+  for (void* q : held) a.free(q);
+  EXPECT_EQ(a.bytes_in_use(), 0u);
+  EXPECT_TRUE(a.check_consistency());
+}
+
+TEST(Quota, ChargesBlockGranularityForLargeAllocs) {
+  HeapConfig cfg = small_cfg();
+  cfg.quota_bytes = 64 * 1024;
+  GpuAllocator a(cfg);
+  // 5000 B rounds to an order-1 buddy block (8 KiB) — that is what the
+  // quota must charge, not the request.
+  void* p = a.malloc(5000);
+  ASSERT_NE(p, nullptr);
+  EXPECT_EQ(a.bytes_in_use(), 8u * 1024u);
+  a.free(p);
+  EXPECT_EQ(a.bytes_in_use(), 0u);
+}
+
+TEST(Quota, LoweringBelowUsageRejectsUntilDrained) {
+  GpuAllocator a(small_cfg());
+  void* p = a.malloc(1024);
+  ASSERT_NE(p, nullptr);
+  a.set_quota(512);  // below the 1 KiB already live
+  AllocStatus st;
+  EXPECT_EQ(a.malloc(64, &st), nullptr);
+  EXPECT_EQ(st, AllocStatus::kQuota);
+  a.free(p);
+  EXPECT_NE(p = a.malloc(64, &st), nullptr);
+  EXPECT_EQ(st, AllocStatus::kOk);
+  a.free(p);
+}
+
+TEST(PoolManager, CreateFindDestroy) {
+  PoolManager& mgr = PoolManager::instance();
+  ASSERT_EQ(mgr.find("pm-basic"), nullptr);
+  Pool* pool = mgr.create("pm-basic", small_cfg());
+  ASSERT_NE(pool, nullptr);
+  EXPECT_EQ(pool->name(), "pm-basic");
+  EXPECT_EQ(mgr.find("pm-basic"), pool);
+  EXPECT_EQ(mgr.create("pm-basic", small_cfg()), nullptr);  // duplicate
+  EXPECT_TRUE(mgr.destroy("pm-basic"));
+  EXPECT_EQ(mgr.find("pm-basic"), nullptr);
+  EXPECT_FALSE(mgr.destroy("pm-basic"));
+}
+
+TEST(PoolManager, RejectsInvalidConfigAndEmptyName) {
+  PoolManager& mgr = PoolManager::instance();
+  EXPECT_EQ(mgr.create("", small_cfg()), nullptr);
+  EXPECT_EQ(mgr.create("pm-bad", HeapConfig{.pool_bytes = 12345}), nullptr);
+}
+
+TEST(PoolManager, DefaultPoolRefusesDestroy) {
+  PoolManager& mgr = PoolManager::instance();
+  Pool& pool = mgr.default_pool(small_cfg());
+  EXPECT_EQ(pool.name(), PoolManager::kDefaultName);
+  EXPECT_TRUE(mgr.has_default());
+  EXPECT_FALSE(mgr.destroy(PoolManager::kDefaultName));
+  EXPECT_TRUE(mgr.has_default());
+}
+
+TEST(PoolManager, QuotaIsolationBetweenPools) {
+  // The tenant story: pool A at quota fails with kQuota while pool B,
+  // sharing nothing with A, keeps allocating at full speed.
+  PoolManager& mgr = PoolManager::instance();
+  HeapConfig cfg_a = small_cfg();
+  cfg_a.quota_bytes = 32 * 1024;
+  Pool* a = mgr.create("pm-tenant-a", cfg_a);
+  Pool* b = mgr.create("pm-tenant-b", small_cfg());
+  ASSERT_NE(a, nullptr);
+  ASSERT_NE(b, nullptr);
+
+  std::vector<void*> held_a;
+  AllocStatus st = AllocStatus::kOk;
+  for (;;) {
+    void* p = a->malloc(512, &st);
+    if (p == nullptr) break;
+    held_a.push_back(p);
+  }
+  EXPECT_EQ(st, AllocStatus::kQuota);
+
+  // B is unaffected: every allocation succeeds while A is pinned at
+  // quota, and A still rejects throughout.
+  std::vector<void*> held_b;
+  for (int i = 0; i < 1000; ++i) {
+    void* p = b->malloc(512, &st);
+    ASSERT_NE(p, nullptr);
+    EXPECT_EQ(st, AllocStatus::kOk);
+    held_b.push_back(p);
+  }
+  EXPECT_EQ(a->malloc(512, &st), nullptr);
+  EXPECT_EQ(st, AllocStatus::kQuota);
+
+  for (void* p : held_a) a->free(p);
+  for (void* p : held_b) b->free(p);
+  EXPECT_TRUE(a->check_consistency());
+  EXPECT_TRUE(b->check_consistency());
+  EXPECT_TRUE(mgr.destroy("pm-tenant-a"));
+  EXPECT_TRUE(mgr.destroy("pm-tenant-b"));
+}
+
+TEST(Pool, ReleaseThresholdTrimsAtSync) {
+  HeapConfig cfg = small_cfg();
+  cfg.release_threshold = 0;  // CUDA default: release everything at sync
+  Pool pool("rt-test", cfg);
+  pool.set_async(true);  // deferral is required; don't rely on build default
+  gpu::Stream s;
+
+  // Churn enough 64 B blocks to strand whole chunks in the UAlloc caches.
+  std::vector<void*> held;
+  for (int i = 0; i < 2000; ++i) held.push_back(pool.malloc(64));
+  for (void* p : held) pool.free_async(p, s);
+  EXPECT_GT(pool.stats().stream.pending, 0u);
+
+  const std::size_t n = pool.sync(s);
+  EXPECT_EQ(n, held.size());
+  EXPECT_GE(pool.stats().threshold_trims, 1u);
+  // Everything the caches strand returns to the buddy tree: nothing is
+  // live, so nothing may stay stranded above the (zero) threshold.
+  EXPECT_EQ(pool.bytes_in_use(), 0u);
+  EXPECT_EQ(pool.stranded_bytes(), 0u);
+  EXPECT_TRUE(pool.check_consistency());
+}
+
+TEST(Pool, RetainAllNeverTrims) {
+  Pool pool("rt-retain", small_cfg());  // default: kReleaseRetainAll
+  gpu::Stream s;
+  std::vector<void*> held;
+  for (int i = 0; i < 500; ++i) held.push_back(pool.malloc(64));
+  for (void* p : held) pool.free_async(p, s);
+  pool.sync(s);
+  EXPECT_EQ(pool.stats().threshold_trims, 0u);
+}
+
+TEST(Pool, DtorUninstallsItsOwnDeviceHeap) {
+  GpuAllocator* prev = set_device_heap(nullptr);
+  {
+    auto pool = std::make_unique<Pool>("dh-owner", small_cfg());
+    set_device_heap(&pool->allocator());
+    EXPECT_EQ(device_heap(), &pool->allocator());
+    pool.reset();  // must not leave a dangling installed heap
+  }
+  EXPECT_EQ(device_heap(), nullptr);
+  set_device_heap(prev);
+}
+
+TEST(Pool, DeviceHeapScopeNestsOverPools) {
+  // A scoped heap override shadows the default pool's heap and restores
+  // it on exit — the test-fixture pattern pools must not break.
+  PoolManager& mgr = PoolManager::instance();
+  Pool& def = mgr.default_pool(small_cfg());
+  GpuAllocator* prev = set_device_heap(&def.allocator());
+
+  Pool scratch("dh-scope", small_cfg());
+  {
+    DeviceHeapScope scope(scratch.allocator());
+    EXPECT_EQ(device_heap(), &scratch.allocator());
+    void* p = device_malloc(64);
+    ASSERT_NE(p, nullptr);
+    EXPECT_EQ(scratch.bytes_in_use(), 64u);
+    {
+      DeviceHeapScope inner(def.allocator());
+      EXPECT_EQ(device_heap(), &def.allocator());
+    }
+    EXPECT_EQ(device_heap(), &scratch.allocator());
+    device_free(p);
+  }
+  EXPECT_EQ(device_heap(), &def.allocator());
+  EXPECT_EQ(scratch.bytes_in_use(), 0u);
+  set_device_heap(prev);
+}
+
+TEST(Pool, KernelChurnThroughPool) {
+  Pool pool("kernel-pool", HeapConfig{.pool_bytes = 16 * kMiB, .num_arenas = 2});
+  gpu::Device dev(test::small_device());
+  gpu::Stream s;
+  std::atomic<std::uint64_t> ok{0};
+  dev.launch_linear(1024, 128, [&](gpu::ThreadCtx& t) {
+    auto* p = static_cast<std::uint8_t*>(pool.malloc_async(96, s));
+    if (p == nullptr) return;
+    std::memset(p, 0x5a, 96);
+    t.yield();
+    if (p[95] == 0x5a) ok.fetch_add(1);
+    pool.free_async(p, s);
+  });
+  EXPECT_EQ(ok.load(), 1024u);
+  pool.sync(s);
+  EXPECT_EQ(pool.bytes_in_use(), 0u);
+  EXPECT_TRUE(pool.check_consistency());
+}
+
+}  // namespace
+}  // namespace toma::alloc
