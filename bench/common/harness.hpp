@@ -21,6 +21,8 @@
 #include <vector>
 
 #include "gpusim/gpusim.hpp"
+#include "obs/export.hpp"
+#include "obs/recorder.hpp"
 #include "obs/telemetry.hpp"
 #include "util/stats.hpp"
 #include "util/table.hpp"
@@ -33,6 +35,8 @@ struct Options {
   std::string csv_path;
   std::string json_path;
   std::string trace_path;
+  std::string record_path;  // flight-recorder dump (.tomarec)
+  std::string prom_path;    // Prometheus text-format metrics export
   bool metrics = false;
   std::string metrics_path;
   std::vector<std::uint32_t> block_sizes = {64, 256, 1024};
@@ -54,6 +58,10 @@ struct Options {
         o.json_path = a + 7;
       } else if (std::strncmp(a, "--trace=", 8) == 0) {
         o.trace_path = a + 8;
+      } else if (std::strncmp(a, "--record=", 9) == 0) {
+        o.record_path = a + 9;
+      } else if (std::strncmp(a, "--prom=", 7) == 0) {
+        o.prom_path = a + 7;
       } else if (std::strcmp(a, "--metrics") == 0) {
         o.metrics = true;
       } else if (std::strncmp(a, "--metrics=", 10) == 0) {
@@ -68,20 +76,24 @@ struct Options {
       } else {
         std::fprintf(stderr,
                      "usage: %s [--quick|--full] [--csv=PATH] "
-                     "[--json=PATH] [--trace=PATH] [--metrics[=PATH]] "
+                     "[--json=PATH] [--trace=PATH] [--record=PATH] "
+                     "[--prom=PATH] [--metrics[=PATH]] "
                      "[--blocks=N] [--sms=N] [--workers=N]\n",
                      argv[0]);
         std::exit(2);
       }
     }
 #if !TOMA_TELEMETRY
-    if (!o.trace_path.empty() || o.metrics) {
+    if (!o.trace_path.empty() || o.metrics || !o.prom_path.empty()) {
       std::fprintf(stderr,
                    "note: built with -DTOMA_TELEMETRY=OFF; --trace/--metrics "
                    "output will be empty\n");
     }
 #endif
     if (!o.trace_path.empty()) obs::enable_tracing();
+    if (!o.record_path.empty()) {
+      obs::Recorder::instance().start();  // dumped by finish_telemetry
+    }
     return o;
   }
 
@@ -140,6 +152,24 @@ inline void finish_telemetry(const Options& opt) {
       std::fprintf(stderr, "failed to write %s\n", opt.trace_path.c_str());
     }
   }
+  if (!opt.record_path.empty()) {
+    obs::Recorder& rec = obs::Recorder::instance();
+    rec.stop();
+    if (rec.dump(opt.record_path)) {
+      std::printf("flight record written to %s (%zu events, %llu dropped)\n",
+                  opt.record_path.c_str(), rec.event_count(),
+                  static_cast<unsigned long long>(rec.dropped()));
+    } else {
+      std::fprintf(stderr, "failed to write %s\n", opt.record_path.c_str());
+    }
+  }
+  if (!opt.prom_path.empty()) {
+    if (obs::write_prometheus(obs::registry().snapshot(), opt.prom_path)) {
+      std::printf("prometheus metrics written to %s\n", opt.prom_path.c_str());
+    } else {
+      std::fprintf(stderr, "failed to write %s\n", opt.prom_path.c_str());
+    }
+  }
   if (opt.metrics) {
     const obs::Snapshot snap = obs::registry().snapshot();
     if (!opt.metrics_path.empty()) {
@@ -156,7 +186,25 @@ inline void finish_telemetry(const Options& opt) {
   }
 }
 
+/// Stamp the run's provenance into the table so every --json dump carries
+/// it (schema_version comes from Table itself).
+inline void stamp_run_meta(const Options& opt, util::Table& table) {
+  table.set_meta("scale",
+                 opt.quick ? "quick" : (opt.full ? "full" : "default"));
+  std::string blocks;
+  for (std::uint32_t b : opt.block_sizes) {
+    if (!blocks.empty()) blocks += ",";
+    blocks += std::to_string(b);
+  }
+  table.set_meta("block_sizes", blocks);
+  table.set_meta("sms", std::to_string(opt.num_sms));
+  table.set_meta("threads_per_sm", std::to_string(opt.threads_per_sm));
+  table.set_meta("workers", std::to_string(opt.workers));
+  table.set_meta("telemetry", TOMA_TELEMETRY ? "on" : "off");
+}
+
 inline void finish_table(const Options& opt, util::Table& table) {
+  stamp_run_meta(opt, table);
   table.print();
   if (!opt.csv_path.empty()) {
     if (table.write_csv(opt.csv_path)) {

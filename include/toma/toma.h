@@ -29,6 +29,7 @@
 #define TOMA_TOMA_H
 
 #include <stddef.h>
+#include <stdint.h>
 
 #ifdef __cplusplus
 extern "C" {
@@ -73,6 +74,9 @@ typedef struct toma_pool_config {
   int magazines;            /* -1 = build default, 0 = off, 1 = on       */
   int quicklist;            /* -1 = build default, 0 = off, 1 = on       */
   int stream_async;         /* -1 = build default, 0 = off, 1 = on       */
+  uint64_t slo_latency_ns;  /* per-op latency SLO target in ns; an op
+                             * slower than this bumps the pool's
+                             * SLO-violation counter. 0 = no SLO         */
 } toma_pool_config_t;
 
 /* The library defaults (64 MiB pool, unlimited quota, retain-all
@@ -134,6 +138,10 @@ void toma_free_async(toma_pool_t pool, void* p, toma_stream_t s);
 size_t toma_pool_sync(toma_pool_t pool, toma_stream_t s);
 size_t toma_stream_sync(toma_stream_t s);
 
+/* Drain every stream's deferred frees on one pool (device-sync
+ * analogue), then apply the release threshold. Returns frees drained. */
+size_t toma_pool_sync_all(toma_pool_t pool);
+
 /* --- maintenance / introspection ----------------------------------------- */
 
 /* Drain pending frees and scavenge cached memory back to maximal buddy
@@ -149,6 +157,65 @@ void toma_pool_set_release_threshold(toma_pool_t pool, size_t bytes);
 
 /* The pool's name (borrowed pointer, valid while the pool lives). */
 const char* toma_pool_name(toma_pool_t pool);
+
+/* --- latency SLOs --------------------------------------------------------- */
+
+/* Per-operation latency SLO target in ns for the pool's host-facing
+ * surface (malloc/free and the async forms). An operation slower than
+ * the target bumps the pool's SLO-violation counter
+ * (`pool.slo_violation{pool="..."}` in the metrics export). 0 disables
+ * the check. Builds with telemetry compiled out never observe
+ * violations (the clock is compiled out with it). */
+void toma_pool_set_slo(toma_pool_t pool, uint64_t target_ns);
+uint64_t toma_pool_slo(toma_pool_t pool);
+
+/* Operations that exceeded the SLO target since pool creation. */
+uint64_t toma_pool_slo_violations(toma_pool_t pool);
+
+/* --- flight recorder ------------------------------------------------------ */
+/* A bounded in-memory log of allocator front-end events (alloc/free/
+ * realloc/sync, with pool, stream, size, and outcome), dumpable as a
+ * compact versioned binary trace (.tomarec) that `replay` (see
+ * docs/OBSERVABILITY.md) re-runs through this same C API. Recording
+ * never blocks allocation: when the buffer fills, new events are dropped
+ * and counted. Also armable at process start via the TOMA_RECORD
+ * environment variable (TOMA_RECORD=1 for the default buffer,
+ * TOMA_RECORD=<n> for an n-event buffer). */
+
+/* Begin a recording session into a fresh buffer of at most
+ * `capacity_events` events (0 = library default, 1M). Discards any
+ * previous recording. TOMA_ERR_EXISTS when already recording. */
+toma_status_t toma_record_start(size_t capacity_events);
+
+/* Stop recording. The captured trace stays dumpable until the next
+ * toma_record_start. */
+void toma_record_stop(void);
+
+/* Is a recording session active? */
+int toma_record_active(void);
+
+/* Events captured so far / events dropped because the buffer was full. */
+size_t toma_record_event_count(void);
+uint64_t toma_record_dropped(void);
+
+/* Write the captured trace to `path` as a .tomarec file. Call
+ * toma_record_stop first for a stable snapshot. TOMA_ERR_INVALID when
+ * nothing has been recorded or the file cannot be written. */
+toma_status_t toma_record_dump(const char* path);
+
+/* --- metrics export ------------------------------------------------------- */
+
+typedef enum toma_metrics_format {
+  TOMA_METRICS_PROMETHEUS = 0, /* Prometheus text exposition format */
+  TOMA_METRICS_JSON = 1        /* stable JSON (schema_version'd)    */
+} toma_metrics_format_t;
+
+/* Snapshot the telemetry registry (counters, derived rates, latency
+ * histograms, per-pool SLO quantiles) and write it to `path` in the
+ * requested format. With telemetry compiled out the export succeeds but
+ * contains no series. TOMA_ERR_INVALID on I/O failure. */
+toma_status_t toma_metrics_export(const char* path,
+                                  toma_metrics_format_t format);
 
 #ifdef __cplusplus
 } /* extern "C" */

@@ -58,6 +58,12 @@ struct HeapConfig {
   /// 0 = release everything, we default to retain-all — the
   /// throughput-oriented choice).
   std::size_t release_threshold = kReleaseRetainAll;
+  /// Per-operation latency SLO target in wall-clock ns for the pool's
+  /// host-facing surface (Pool::malloc/free and the async forms): an
+  /// operation slower than this bumps the pool's SLO-violation counter
+  /// (`pool.slo_violation{pool="..."}`). 0 = no SLO. Telemetry-off
+  /// builds never observe violations (the clock is compiled out).
+  std::uint64_t slo_latency_ns = 0;
   bool heapsan = TOMA_HEAPSAN != 0;
   bool magazines = TOMA_UALLOC_MAGAZINES != 0;
   bool quicklist = TOMA_TBUDDY_QUICKLIST != 0;

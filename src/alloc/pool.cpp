@@ -1,15 +1,51 @@
 #include "alloc/pool.hpp"
 
+#include <cstdint>
+
 #include "alloc/device_heap.hpp"
+#include "obs/recorder.hpp"
+#include "obs/registry.hpp"
 #include "obs/telemetry.hpp"
 
 namespace toma::alloc {
 
+namespace {
+
+/// Registry name with the pool identity as a Prometheus-style label
+/// (obs/export.hpp parses it back out): `metric{pool="<name>"}`.
+/// Quotes/backslashes in pool names are escaped so the label block stays
+/// parseable.
+std::string pool_series(const char* metric, const std::string& pool) {
+  std::string out(metric);
+  out += "{pool=\"";
+  for (const char c : pool) {
+    if (c == '"' || c == '\\') out.push_back('\\');
+    out.push_back(c);
+  }
+  out += "\"}";
+  return out;
+}
+
+std::uint8_t outcome_of(AllocStatus st) {
+  return static_cast<std::uint8_t>(st);
+}
+
+}  // namespace
+
 Pool::Pool(std::string name, const HeapConfig& cfg)
     : name_(std::move(name)),
+      num_arenas_(cfg.num_arenas),
       alloc_(cfg),
       streams_(alloc_),
-      release_threshold_(cfg.release_threshold) {
+      release_threshold_(cfg.release_threshold),
+      slo_ns_(cfg.slo_latency_ns) {
+#if TOMA_TELEMETRY
+  h_malloc_ns_ =
+      &obs::registry().histogram(pool_series("pool.malloc_ns", name_));
+  h_free_ns_ = &obs::registry().histogram(pool_series("pool.free_ns", name_));
+  c_slo_violation_ =
+      &obs::registry().counter(pool_series("pool.slo_violation", name_));
+#endif
   TOMA_CTR_INC("pool.create");
 }
 
@@ -19,31 +55,139 @@ Pool::~Pool() {
   TOMA_CTR_INC("pool.destroy");
 }
 
+void Pool::observe_latency(obs::Histogram* h, std::uint64_t t0) {
+#if TOMA_TELEMETRY
+  const std::uint64_t dt = obs::now_ns() - t0;
+  h->record(dt);
+  const std::uint64_t slo = slo_ns_.load(std::memory_order_relaxed);
+  if (slo != 0 && dt > slo) {
+    st_slo_violations_.fetch_add(1, std::memory_order_relaxed);
+    c_slo_violation_->inc();
+  }
+#else
+  (void)h;
+  (void)t0;
+#endif
+}
+
+std::uint16_t Pool::record_id() {
+  obs::Recorder& rec = obs::Recorder::instance();
+  const std::uint64_t gen = rec.generation();
+  if (rec_gen_.load(std::memory_order_acquire) != gen) {
+    obs::RecordedPool info;
+    info.name = name_;
+    info.pool_bytes = alloc_.pool_bytes();
+    info.quota_bytes = alloc_.quota_bytes();
+    info.release_threshold = release_threshold_.load(std::memory_order_relaxed);
+    info.num_arenas = num_arenas_;
+    if (async_enabled()) info.flags |= obs::kRecPoolAsync;
+    if (alloc_.heapsan_enabled()) info.flags |= obs::kRecPoolHeapSan;
+    rec_id_.store(rec.intern_pool(info), std::memory_order_relaxed);
+    rec_gen_.store(gen, std::memory_order_release);
+  }
+  return rec_id_.load(std::memory_order_relaxed);
+}
+
+void* Pool::malloc(std::size_t size, AllocStatus* status) {
+  const std::uint64_t t0 = TOMA_NOW_NS();
+  AllocStatus st = AllocStatus::kOk;
+  void* p = alloc_.malloc(size, &st);
+  observe_latency(h_malloc_ns_, t0);
+  if (obs::recording_enabled()) {
+    obs::Recorder::instance().on_alloc(record_id(), obs::RecOp::kMalloc, size,
+                                       0, true, p, outcome_of(st));
+  }
+  if (status != nullptr) *status = st;
+  return p;
+}
+
+void Pool::free(void* p) {
+  // Record *before* the underlying free: once the block is back in the
+  // allocator a racing thread can re-allocate the same pointer, and the
+  // recorder's ptr->id map must not see that re-use first.
+  if (p != nullptr && obs::recording_enabled()) {
+    obs::Recorder::instance().on_free(record_id(), obs::RecOp::kFree, p, 0,
+                                      true);
+  }
+  const std::uint64_t t0 = TOMA_NOW_NS();
+  alloc_.free(p);
+  observe_latency(h_free_ns_, t0);
+}
+
+void* Pool::calloc(std::size_t n, std::size_t size, AllocStatus* status) {
+  const std::uint64_t t0 = TOMA_NOW_NS();
+  AllocStatus st = AllocStatus::kOk;
+  void* p = alloc_.calloc(n, size, &st);
+  observe_latency(h_malloc_ns_, t0);
+  if (obs::recording_enabled()) {
+    // Record the *total* request so replay issues calloc(1, total); an
+    // overflowing n*size records as total 0, which replays to the same
+    // kInvalidArg outcome.
+    const bool overflow = size != 0 && n > SIZE_MAX / size;
+    const std::size_t total = overflow ? 0 : n * size;
+    obs::Recorder::instance().on_alloc(record_id(), obs::RecOp::kCalloc, total,
+                                       0, true, p, outcome_of(st));
+  }
+  if (status != nullptr) *status = st;
+  return p;
+}
+
+void* Pool::realloc(void* p, std::size_t size, AllocStatus* status) {
+  const std::uint64_t t0 = TOMA_NOW_NS();
+  const std::uint16_t rec =
+      obs::recording_enabled() && (p != nullptr || size != 0) ? record_id() : 0;
+  AllocStatus st = AllocStatus::kOk;
+  void* q = alloc_.realloc(p, size, &st);
+  observe_latency(h_malloc_ns_, t0);
+  if (obs::recording_enabled() && (p != nullptr || size != 0)) {
+    obs::Recorder::instance().on_realloc(rec, p, q, size, outcome_of(st));
+  }
+  if (status != nullptr) *status = st;
+  return q;
+}
+
 void* Pool::malloc_async(std::size_t size, gpu::Stream& s,
                          AllocStatus* status) {
+  const std::uint64_t t0 = TOMA_NOW_NS();
+  AllocStatus st = AllocStatus::kOk;
+  void* p = nullptr;
   // Reuse is disabled while HeapSan is engaged: a sanitized pointer is
   // not a raw block base, and handing it back without the redzone /
   // shadow bookkeeping would blind the sanitizer.
   if (async_enabled() && size != 0 && !alloc_.heapsan().engaged()) {
     const std::size_t effective = GpuAllocator::effective_size(size);
-    if (void* p = streams_.try_reuse(effective, s)) {
-      if (status != nullptr) *status = AllocStatus::kOk;
-      return p;
-    }
+    p = streams_.try_reuse(effective, s);
   }
-  return alloc_.malloc(size, status);
+  if (p == nullptr) p = alloc_.malloc(size, &st);
+  observe_latency(h_malloc_ns_, t0);
+  if (obs::recording_enabled()) {
+    obs::Recorder::instance().on_alloc(record_id(), obs::RecOp::kMallocAsync,
+                                       size, s.id(),
+                                       &s == &gpu::default_stream(), p,
+                                       outcome_of(st));
+  }
+  if (status != nullptr) *status = st;
+  return p;
 }
 
 void Pool::free_async(void* p, gpu::Stream& s) {
   if (p == nullptr) return;
+  // As in free(): record while the pointer identity is still uniquely
+  // ours, before any path that could hand it back to the allocator.
+  if (obs::recording_enabled()) {
+    obs::Recorder::instance().on_free(record_id(), obs::RecOp::kFreeAsync, p,
+                                      s.id(), &s == &gpu::default_stream());
+  }
+  const std::uint64_t t0 = TOMA_NOW_NS();
   if (!async_enabled() || alloc_.heapsan().engaged()) {
     // Degenerate (paper-faithful) mode: the ordering contract holds
     // trivially because the free completes before free_async returns.
     TOMA_CTR_INC("pool.stream.passthrough");
     alloc_.free(p);
-    return;
+  } else {
+    streams_.free_async(p, s);
   }
-  streams_.free_async(p, s);
+  observe_latency(h_free_ns_, t0);
 }
 
 std::size_t Pool::sync(gpu::Stream& s) {
@@ -51,6 +195,10 @@ std::size_t Pool::sync(gpu::Stream& s) {
   st_syncs_.fetch_add(1, std::memory_order_relaxed);
   TOMA_CTR_INC("pool.sync");
   maybe_release();
+  if (obs::recording_enabled()) {
+    obs::Recorder::instance().on_sync(record_id(), obs::RecOp::kSync, s.id(),
+                                      &s == &gpu::default_stream(), n);
+  }
   return n;
 }
 
@@ -58,18 +206,31 @@ std::size_t Pool::sync_all() {
   const std::size_t n = streams_.sync_all();
   st_syncs_.fetch_add(1, std::memory_order_relaxed);
   maybe_release();
+  if (obs::recording_enabled()) {
+    obs::Recorder::instance().on_sync(record_id(), obs::RecOp::kSyncAll, 0,
+                                      true, n);
+  }
   return n;
 }
 
 std::size_t Pool::release_stream(gpu::Stream& s) {
   const std::size_t n = streams_.release_stream(s);
   maybe_release();
+  if (obs::recording_enabled()) {
+    obs::Recorder::instance().on_sync(record_id(), obs::RecOp::kStreamRelease,
+                                      s.id(), &s == &gpu::default_stream(), n);
+  }
   return n;
 }
 
 std::size_t Pool::trim() {
   streams_.sync_all();
-  return alloc_.trim();
+  const std::size_t chunks = alloc_.trim();
+  if (obs::recording_enabled()) {
+    obs::Recorder::instance().on_sync(record_id(), obs::RecOp::kTrim, 0, true,
+                                      chunks);
+  }
+  return chunks;
 }
 
 void Pool::set_async(bool on) {
@@ -106,6 +267,8 @@ PoolStats Pool::stats() const {
   s.stream = streams_.stats();
   s.syncs = st_syncs_.load(std::memory_order_relaxed);
   s.threshold_trims = st_threshold_trims_.load(std::memory_order_relaxed);
+  s.slo_violations = st_slo_violations_.load(std::memory_order_relaxed);
+  s.slo_target_ns = slo_ns_.load(std::memory_order_relaxed);
   s.bytes_in_use = alloc_.bytes_in_use();
   s.quota_bytes = alloc_.quota_bytes();
   s.release_threshold = release_threshold_.load(std::memory_order_relaxed);

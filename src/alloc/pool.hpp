@@ -25,6 +25,11 @@
 #include "alloc/stream.hpp"
 #include "gpusim/stream.hpp"
 
+namespace toma::obs {
+class Counter;
+class Histogram;
+}  // namespace toma::obs
+
 namespace toma::alloc {
 
 struct PoolStats {
@@ -32,6 +37,8 @@ struct PoolStats {
   StreamFrontEndStats stream;
   std::uint64_t syncs = 0;            // Pool::sync calls
   std::uint64_t threshold_trims = 0;  // trims forced by release threshold
+  std::uint64_t slo_violations = 0;   // ops slower than the SLO target
+  std::uint64_t slo_target_ns = 0;    // 0 = no SLO
   std::size_t bytes_in_use = 0;
   std::size_t quota_bytes = 0;        // 0 = unlimited
   std::size_t release_threshold = 0;
@@ -52,18 +59,17 @@ class Pool {
   GpuAllocator& allocator() { return alloc_; }
   const GpuAllocator& allocator() const { return alloc_; }
 
-  // --- synchronous surface (thin forwarding) -------------------------------
-  void* malloc(std::size_t size, AllocStatus* status = nullptr) {
-    return alloc_.malloc(size, status);
-  }
-  void free(void* p) { alloc_.free(p); }
+  // --- synchronous surface -------------------------------------------------
+  // Thin forwarding plus the pool's observability duties: per-pool
+  // latency histograms (`pool.malloc_ns{pool=...}` / `pool.free_ns`),
+  // SLO-violation accounting, and flight-recorder hooks (obs/recorder.hpp)
+  // when a recording session is active. The device-side hot path
+  // (device_malloc -> GpuAllocator) bypasses all of this by design.
+  void* malloc(std::size_t size, AllocStatus* status = nullptr);
+  void free(void* p);
   void* calloc(std::size_t n, std::size_t size,
-               AllocStatus* status = nullptr) {
-    return alloc_.calloc(n, size, status);
-  }
-  void* realloc(void* p, std::size_t size, AllocStatus* status = nullptr) {
-    return alloc_.realloc(p, size, status);
-  }
+               AllocStatus* status = nullptr);
+  void* realloc(void* p, std::size_t size, AllocStatus* status = nullptr);
   std::size_t usable_size(void* p) const { return alloc_.usable_size(p); }
 
   // --- stream-ordered surface ----------------------------------------------
@@ -114,6 +120,17 @@ class Pool {
   std::size_t quota_bytes() const { return alloc_.quota_bytes(); }
   void set_quota(std::size_t bytes) { alloc_.set_quota(bytes); }
 
+  /// Per-operation latency SLO target in ns (0 = no SLO). An op slower
+  /// than the target bumps `pool.slo_violation{pool=...}` and
+  /// stats().slo_violations. Exported quantiles always come from the
+  /// latency histograms regardless of the target.
+  void set_slo_latency(std::uint64_t ns) {
+    slo_ns_.store(ns, std::memory_order_relaxed);
+  }
+  std::uint64_t slo_latency() const {
+    return slo_ns_.load(std::memory_order_relaxed);
+  }
+
   /// Bytes stranded outside both live allocations and the buddy tree
   /// (magazine/quicklist caches, partial bins, quarantine) — what the
   /// release threshold compares against.
@@ -126,13 +143,31 @@ class Pool {
   /// Trim if stranded_bytes() exceeds the release threshold.
   void maybe_release();
 
+  /// Record the op's latency into `h` and check it against the SLO
+  /// target. Compiles to nothing with telemetry off.
+  void observe_latency(obs::Histogram* h, std::uint64_t t0);
+
+  /// The pool's id in the active flight-recorder session, interning on
+  /// first use per session (the recorder generation changes on start()).
+  std::uint16_t record_id();
+
   std::string name_;
+  std::uint32_t num_arenas_;  // retained for the flight-recorder header
   GpuAllocator alloc_;
   StreamFrontEnd streams_;
   std::atomic<std::size_t> release_threshold_;
   std::atomic<bool> async_on_{TOMA_STREAM_ASYNC != 0};
   std::atomic<std::uint64_t> st_syncs_{0};
   std::atomic<std::uint64_t> st_threshold_trims_{0};
+  std::atomic<std::uint64_t> slo_ns_{0};
+  std::atomic<std::uint64_t> st_slo_violations_{0};
+  // Registry handles resolved once at construction (null with telemetry
+  // compiled out); the registry never deletes instruments.
+  obs::Histogram* h_malloc_ns_ = nullptr;
+  obs::Histogram* h_free_ns_ = nullptr;
+  obs::Counter* c_slo_violation_ = nullptr;
+  std::atomic<std::uint64_t> rec_gen_{0};
+  std::atomic<std::uint16_t> rec_id_{0};
 };
 
 /// Process-wide registry of named pools. Leaky singleton (like the obs

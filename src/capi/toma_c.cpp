@@ -8,6 +8,9 @@
 
 #include "alloc/pool.hpp"
 #include "gpusim/stream.hpp"
+#include "obs/export.hpp"
+#include "obs/recorder.hpp"
+#include "obs/registry.hpp"
 
 namespace {
 
@@ -58,6 +61,7 @@ HeapConfig to_cpp(const toma_pool_config_t& c) {
   apply_toggle(cfg.heapsan, c.heapsan);
   apply_toggle(cfg.magazines, c.magazines);
   apply_toggle(cfg.quicklist, c.quicklist);
+  cfg.slo_latency_ns = c.slo_latency_ns;
   return cfg;
 }
 
@@ -94,6 +98,7 @@ toma_pool_config_t toma_pool_config_default(void) {
   c.magazines = -1;
   c.quicklist = -1;
   c.stream_async = -1;
+  c.slo_latency_ns = defaults.slo_latency_ns;
   return c;
 }
 
@@ -198,6 +203,10 @@ size_t toma_stream_sync(toma_stream_t s) {
   return PoolManager::instance().sync_stream(unwrap(s));
 }
 
+size_t toma_pool_sync_all(toma_pool_t pool) {
+  return pool_or_default(pool).sync_all();
+}
+
 size_t toma_trim(toma_pool_t pool) { return pool_or_default(pool).trim(); }
 
 size_t toma_pool_bytes_in_use(toma_pool_t pool) {
@@ -222,6 +231,62 @@ void toma_pool_set_release_threshold(toma_pool_t pool, size_t bytes) {
 
 const char* toma_pool_name(toma_pool_t pool) {
   return pool_or_default(pool).name().c_str();
+}
+
+void toma_pool_set_slo(toma_pool_t pool, uint64_t target_ns) {
+  pool_or_default(pool).set_slo_latency(target_ns);
+}
+
+uint64_t toma_pool_slo(toma_pool_t pool) {
+  return pool_or_default(pool).slo_latency();
+}
+
+uint64_t toma_pool_slo_violations(toma_pool_t pool) {
+  return pool_or_default(pool).stats().slo_violations;
+}
+
+toma_status_t toma_record_start(size_t capacity_events) {
+  const size_t cap = capacity_events != 0
+                         ? capacity_events
+                         : toma::obs::Recorder::kDefaultCapacity;
+  return toma::obs::Recorder::instance().start(cap) ? TOMA_OK
+                                                    : TOMA_ERR_EXISTS;
+}
+
+void toma_record_stop(void) { toma::obs::Recorder::instance().stop(); }
+
+int toma_record_active(void) {
+  return toma::obs::Recorder::instance().active() ? 1 : 0;
+}
+
+size_t toma_record_event_count(void) {
+  return toma::obs::Recorder::instance().event_count();
+}
+
+uint64_t toma_record_dropped(void) {
+  return toma::obs::Recorder::instance().dropped();
+}
+
+toma_status_t toma_record_dump(const char* path) {
+  if (path == nullptr || path[0] == '\0') return TOMA_ERR_INVALID;
+  return toma::obs::Recorder::instance().dump(path) ? TOMA_OK
+                                                    : TOMA_ERR_INVALID;
+}
+
+toma_status_t toma_metrics_export(const char* path,
+                                  toma_metrics_format_t format) {
+  if (path == nullptr || path[0] == '\0') return TOMA_ERR_INVALID;
+  const toma::obs::Snapshot snap = toma::obs::registry().snapshot();
+  bool ok = false;
+  switch (format) {
+    case TOMA_METRICS_PROMETHEUS:
+      ok = toma::obs::write_prometheus(snap, path);
+      break;
+    case TOMA_METRICS_JSON:
+      ok = toma::obs::write_stable_json(snap, path);
+      break;
+  }
+  return ok ? TOMA_OK : TOMA_ERR_INVALID;
 }
 
 }  // extern "C"

@@ -1,0 +1,172 @@
+// Flight recorder: a bounded in-memory log of allocator front-end events
+// (alloc/free/realloc/sync) with pool, stream, size and outcome, dumpable
+// as a compact versioned binary trace (`.tomarec`) that the replay
+// harness (bench/replay.cpp) re-runs through the public C API.
+//
+// Recording is a runtime opt-in like tracing: off, every Pool hook costs
+// one relaxed bool load. On (`Recorder::start`, `toma_record_start`, or
+// the TOMA_RECORD environment variable), events append to a
+// pre-reserved buffer under a raw spinlock; when the buffer is full new
+// events are *dropped and counted* — never blocking the allocator and
+// never growing without bound (`obs.record.dropped` surfaces the loss in
+// every metrics export).
+//
+// Identity is interned so a trace is self-contained and replayable:
+//   * pools   -> dense u16 ids, with the pool's geometry (pool_bytes,
+//                arenas, quota, threshold, front-end flags) in the trace
+//                header so replay can recreate an equivalent pool;
+//   * streams -> dense u32 ids in first-appearance order (0 is always
+//                the process default stream);
+//   * blocks  -> dense u32 ids assigned per successful allocation, so a
+//                free names *which* allocation it frees without baking
+//                process-specific pointer values into the format.
+// Because all three are assigned in event order, recording a replay of a
+// trace reproduces the original event stream bit-for-bit — the CI
+// record/replay smoke leg literally `cmp`s the two files.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace toma::obs {
+
+/// Bumped whenever the .tomarec layout changes.
+inline constexpr std::uint32_t kTomarecVersion = 1;
+
+/// File magic: "TOMAREC" + 0x1A (a DOS EOF byte, so accidental `cat`
+/// stops before the binary body).
+inline constexpr char kTomarecMagic[8] = {'T', 'O', 'M', 'A',
+                                          'R', 'E', 'C', 0x1a};
+
+enum class RecOp : std::uint8_t {
+  kMalloc = 0,
+  kCalloc = 1,
+  kRealloc = 2,
+  kFree = 3,
+  kMallocAsync = 4,
+  kFreeAsync = 5,
+  kSync = 6,           // Pool::sync(stream)
+  kTrim = 7,           // Pool::trim()
+  kStreamRelease = 8,  // Pool::release_stream(stream)
+  kSyncAll = 9,        // Pool::sync_all()
+};
+
+/// Outcome byte: the numeric value of alloc::AllocStatus (== the numeric
+/// value of the C facade's toma_status_t for these four cases). Stored as
+/// a raw byte so obs stays below the alloc layer.
+inline constexpr std::uint8_t kRecOk = 0;
+
+/// One recorded event; exactly the on-disk record layout (32 bytes,
+/// little-endian on every platform we build for).
+struct RecordEvent {
+  std::uint64_t seq;     // global order, 0-based
+  std::uint64_t size;    // alloc/realloc: requested bytes;
+                         // sync/trim: frees drained / chunks released
+  std::uint32_t block;   // alloc: id granted (0 = failed);
+                         // free/realloc: id being freed/resized
+  std::uint32_t aux;     // realloc: id of the resulting block
+  std::uint32_t stream;  // interned stream id; 0 = default stream
+  std::uint16_t pool;    // interned pool id (index into the pool table)
+  RecOp op;
+  std::uint8_t outcome;  // AllocStatus / toma_status_t value
+};
+static_assert(sizeof(RecordEvent) == 32, "on-disk record layout");
+
+/// Pool-table entry: everything replay needs to recreate an equivalent
+/// pool. `flags` bit 0 = stream-async front-end on, bit 1 = HeapSan on.
+struct RecordedPool {
+  std::string name;
+  std::uint64_t pool_bytes = 0;
+  std::uint64_t quota_bytes = 0;
+  std::uint64_t release_threshold = 0;
+  std::uint32_t num_arenas = 0;
+  std::uint32_t flags = 0;
+};
+
+inline constexpr std::uint32_t kRecPoolAsync = 1u << 0;
+inline constexpr std::uint32_t kRecPoolHeapSan = 1u << 1;
+
+/// A complete trace: the in-memory form of a .tomarec file.
+struct RecordedTrace {
+  std::uint32_t version = kTomarecVersion;
+  std::vector<RecordedPool> pools;
+  std::uint64_t dropped = 0;
+  std::vector<RecordEvent> events;
+
+  bool write(const std::string& path) const;
+  /// false on I/O error, bad magic, or a version newer than this build.
+  static bool read(const std::string& path, RecordedTrace* out);
+};
+
+namespace detail {
+inline std::atomic<bool> g_record_on{false};
+}
+
+/// Hot-path gate (one relaxed load, mirroring trace_enabled()).
+inline bool recording_enabled() {
+  return detail::g_record_on.load(std::memory_order_relaxed);
+}
+
+class Recorder {
+ public:
+  static Recorder& instance();
+
+  Recorder(const Recorder&) = delete;
+  Recorder& operator=(const Recorder&) = delete;
+
+  /// Begin recording into a fresh buffer of at most `capacity_events`
+  /// events (clamped to >= 1024). Discards any previous recording and
+  /// bumps generation() so cached pool ids re-intern. False when already
+  /// active.
+  bool start(std::size_t capacity_events = kDefaultCapacity);
+
+  /// Stop recording. Captured events remain dumpable until the next
+  /// start().
+  void stop();
+
+  bool active() const { return recording_enabled(); }
+
+  /// Monotonic recording-session id; bumped by start(). Lets the alloc
+  /// layer cache its interned pool id per session.
+  std::uint64_t generation() const;
+
+  /// Events captured / events rejected because the buffer was full.
+  std::size_t event_count() const;
+  std::uint64_t dropped() const;
+
+  /// Register a pool for the current session; returns its dense id.
+  /// Idempotent per (generation, name).
+  std::uint16_t intern_pool(const RecordedPool& info);
+
+  // --- event hooks (called by alloc::Pool; cheap no-ops when inactive) ----
+  /// `gpu_stream_id` is the gpu::Stream process-unique id;
+  /// `is_default_stream` pins interned id 0. Returns the granted block id
+  /// (0 when result == nullptr) so callers may ignore it.
+  std::uint32_t on_alloc(std::uint16_t pool, RecOp op, std::size_t size,
+                         std::uint32_t gpu_stream_id, bool is_default_stream,
+                         const void* result, std::uint8_t outcome);
+  void on_free(std::uint16_t pool, RecOp op, const void* p,
+               std::uint32_t gpu_stream_id, bool is_default_stream);
+  void on_realloc(std::uint16_t pool, const void* old_p, const void* new_p,
+                  std::size_t size, std::uint8_t outcome);
+  void on_sync(std::uint16_t pool, RecOp op, std::uint32_t gpu_stream_id,
+               bool is_default_stream, std::uint64_t amount);
+
+  /// Copy out the current recording (stop first for a stable view).
+  RecordedTrace trace() const;
+
+  /// trace().write(path) without the intermediate copy being mutable.
+  bool dump(const std::string& path) const;
+
+  static constexpr std::size_t kDefaultCapacity = std::size_t{1} << 20;
+
+ private:
+  Recorder();
+  struct Impl;
+  Impl* impl_;  // leaky, like the registry: usable during static teardown
+};
+
+}  // namespace toma::obs

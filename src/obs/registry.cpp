@@ -166,7 +166,11 @@ std::string Snapshot::to_text() const {
 }
 
 std::string Snapshot::to_json() const {
-  std::string out = "{\"counters\":{";
+  return "{" + to_json_body() + "}\n";
+}
+
+std::string Snapshot::to_json_body() const {
+  std::string out = "\"counters\":{";
   char buf[64];
   bool first = true;
   for (const auto& [name, v] : counters) {
@@ -218,7 +222,7 @@ std::string Snapshot::to_json() const {
     }
     out += "]}";
   }
-  out += "\n}}\n";
+  out += "\n}";
   return out;
 }
 

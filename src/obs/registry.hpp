@@ -44,6 +44,12 @@ struct Snapshot {
   /// {"counters":{...},"derived":{...},"histograms":{...}}.
   std::string to_json() const;
 
+  /// The body of to_json() without the enclosing braces
+  /// (`"counters":{...},"derived":{...},"histograms":{...}`), so richer
+  /// exports (obs/export.hpp) can embed the same representation next to
+  /// their own sections without re-serializing.
+  std::string to_json_body() const;
+
   /// to_json() to a file; false on I/O failure.
   bool write_json(const std::string& path) const;
 };

@@ -6,6 +6,7 @@
 #include <memory>
 #include <mutex>
 
+#include "obs/registry.hpp"
 #include "util/assert.hpp"
 #include "util/bitops.hpp"
 #include "util/hints.hpp"
@@ -104,9 +105,17 @@ void trace_event_slow(const char* name, TracePhase phase, std::uint64_t arg) {
   TraceRecord rec{current_tick(), arg,          name,
                   sm,             current_warp(), phase};
   r.mu.lock();
+  const bool overwrote = r.head > st.mask;  // ring full: oldest record lost
   r.slots[r.head & st.mask] = rec;
   ++r.head;
   r.mu.unlock();
+  if (overwrote) {
+    // Monotonic registry twin of trace_dropped(): ring-wrap loss shows up
+    // in every metrics export, not only when someone polls the rings.
+    // (Unlike trace_dropped() it is not reset by reset_trace().)
+    static Counter& dropped = registry().counter("obs.trace.dropped");
+    dropped.inc();
+  }
 }
 
 std::uint64_t trace_dropped() {

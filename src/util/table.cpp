@@ -12,6 +12,16 @@ void Table::set_header(std::vector<std::string> cols) {
   header_ = std::move(cols);
 }
 
+void Table::set_meta(const std::string& key, std::string value) {
+  for (auto& [k, v] : meta_) {
+    if (k == key) {
+      v = std::move(value);
+      return;
+    }
+  }
+  meta_.emplace_back(key, std::move(value));
+}
+
 void Table::add_row(std::vector<std::string> cells) {
   TOMA_ASSERT_MSG(header_.empty() || cells.size() == header_.size(),
                   "row width does not match header");
@@ -114,9 +124,16 @@ bool Table::write_json(const std::string& path) const {
     }
     std::fputc(']', f);
   };
-  std::fputs("{\"title\":", f);
+  std::fprintf(f, "{\"schema_version\":%d,\n\"title\":", kJsonSchemaVersion);
   write_str(title_);
-  std::fputs(",\n\"header\":", f);
+  std::fputs(",\n\"meta\":{", f);
+  for (std::size_t i = 0; i < meta_.size(); ++i) {
+    if (i) std::fputc(',', f);
+    write_str(meta_[i].first);
+    std::fputc(':', f);
+    write_str(meta_[i].second);
+  }
+  std::fputs("},\n\"header\":", f);
   write_row(header_);
   std::fputs(",\n\"rows\":[", f);
   for (std::size_t r = 0; r < rows_.size(); ++r) {

@@ -9,6 +9,7 @@
 #include <string>
 #include <type_traits>
 #include <cstdint>
+#include <utility>
 #include <vector>
 
 namespace toma::util {
@@ -34,9 +35,18 @@ class Table {
   /// Write CSV to `path`; returns false on I/O error.
   bool write_csv(const std::string& path) const;
 
+  /// Bumped whenever the JSON shape below changes, so downstream
+  /// plotters can reject dumps they don't understand.
+  static constexpr int kJsonSchemaVersion = 2;
+
+  /// Attach a run-metadata pair (scale, device geometry, build toggles,
+  /// ...) emitted in the JSON "meta" object. Last set of a key wins.
+  void set_meta(const std::string& key, std::string value);
+
   /// Write JSON to `path`; returns false on I/O error. Shape:
-  /// {"title":"...","header":[...],"rows":[[...],...]} — all cells as
-  /// strings, exactly as formatted for the table.
+  /// {"schema_version":N,"title":"...","meta":{"k":"v",...},
+  ///  "header":[...],"rows":[[...],...]} — all cells as strings,
+  /// exactly as formatted for the table.
   bool write_json(const std::string& path) const;
 
  private:
@@ -53,6 +63,7 @@ class Table {
   }
 
   std::string title_;
+  std::vector<std::pair<std::string, std::string>> meta_;
   std::vector<std::string> header_;
   std::vector<std::vector<std::string>> rows_;
 };

@@ -7,6 +7,7 @@
 
 #include "alloc/device_heap.hpp"
 #include "gpusim/gpusim.hpp"
+#include "obs/telemetry.hpp"
 #include "support/test_support.hpp"
 
 namespace toma::alloc {
@@ -189,6 +190,37 @@ TEST(Pool, RetainAllNeverTrims) {
   for (void* p : held) pool.free_async(p, s);
   pool.sync(s);
   EXPECT_EQ(pool.stats().threshold_trims, 0u);
+}
+
+TEST(Pool, SloTargetAndViolationAccounting) {
+  HeapConfig cfg = small_cfg();
+  cfg.slo_latency_ns = 7500;
+  Pool pool("slo-test", cfg);
+  EXPECT_EQ(pool.slo_latency(), 7500u);
+  EXPECT_EQ(pool.stats().slo_target_ns, 7500u);
+  EXPECT_EQ(pool.stats().slo_violations, 0u);
+
+  // A 1 ns target makes every timed op a violation (telemetry builds
+  // only: without instrumentation the latency path compiles out).
+  pool.set_slo_latency(1);
+  for (int i = 0; i < 64; ++i) {
+    void* p = pool.malloc(64);
+    ASSERT_NE(p, nullptr);
+    pool.free(p);
+  }
+#if TOMA_TELEMETRY
+  EXPECT_GE(pool.stats().slo_violations, 64u)
+      << "every op must breach a 1 ns SLO";
+#else
+  EXPECT_EQ(pool.stats().slo_violations, 0u);
+#endif
+
+  // 0 disables tracking: the count freezes.
+  pool.set_slo_latency(0);
+  const std::uint64_t frozen = pool.stats().slo_violations;
+  void* p = pool.malloc(64);
+  pool.free(p);
+  EXPECT_EQ(pool.stats().slo_violations, frozen);
 }
 
 TEST(Pool, DtorUninstallsItsOwnDeviceHeap) {

@@ -198,6 +198,110 @@ TEST(TomaC, ReleaseThresholdAndTrim) {
   EXPECT_EQ(toma_pool_destroy(pool), TOMA_OK);
 }
 
+TEST(TomaC, SyncAllDrainsEveryStream) {
+  toma_pool_config_t cfg = small_cfg();
+  cfg.stream_async = 1;
+  toma_pool_t pool = nullptr;
+  ASSERT_EQ(toma_pool_create("capi-syncall", &cfg, &pool), TOMA_OK);
+  toma_stream_t s1 = toma_stream_create();
+  toma_stream_t s2 = toma_stream_create();
+  void* a = toma_malloc_async(pool, 128, s1, nullptr);
+  void* b = toma_malloc_async(pool, 128, s2, nullptr);
+  ASSERT_NE(a, nullptr);
+  ASSERT_NE(b, nullptr);
+  toma_free_async(pool, a, s1);
+  toma_free_async(pool, b, s2);
+  EXPECT_EQ(toma_pool_sync_all(pool), 2u);
+  EXPECT_EQ(toma_pool_bytes_in_use(pool), 0u);
+  EXPECT_EQ(toma_pool_sync_all(pool), 0u) << "second sweep finds nothing";
+  toma_stream_destroy(s1);
+  toma_stream_destroy(s2);
+  EXPECT_EQ(toma_pool_destroy(pool), TOMA_OK);
+}
+
+TEST(TomaC, SloTargetAccessors) {
+  toma_pool_config_t cfg = small_cfg();
+  cfg.slo_latency_ns = 5000;
+  toma_pool_t pool = nullptr;
+  ASSERT_EQ(toma_pool_create("capi-slo", &cfg, &pool), TOMA_OK);
+  EXPECT_EQ(toma_pool_slo(pool), 5000u);
+  toma_pool_set_slo(pool, 250);
+  EXPECT_EQ(toma_pool_slo(pool), 250u);
+  // Violations only accumulate in telemetry builds; through the C surface
+  // we can only require the counter to exist and never run backwards.
+  const uint64_t before = toma_pool_slo_violations(pool);
+  void* p = toma_malloc(pool, 256, nullptr);
+  toma_free(pool, p);
+  EXPECT_GE(toma_pool_slo_violations(pool), before);
+  toma_pool_set_slo(pool, 0);  // 0 disables SLO tracking
+  EXPECT_EQ(toma_pool_slo(pool), 0u);
+  EXPECT_EQ(toma_pool_destroy(pool), TOMA_OK);
+}
+
+TEST(TomaC, FlightRecorderSession) {
+  ASSERT_EQ(toma_record_start(0), TOMA_OK);
+  EXPECT_EQ(toma_record_active(), 1);
+  EXPECT_EQ(toma_record_start(0), TOMA_ERR_EXISTS) << "double start";
+
+  toma_pool_config_t cfg = small_cfg();
+  toma_pool_t pool = nullptr;
+  ASSERT_EQ(toma_pool_create("capi-rec", &cfg, &pool), TOMA_OK);
+  void* p = toma_malloc(pool, 512, nullptr);
+  ASSERT_NE(p, nullptr);
+  toma_free(pool, p);
+  toma_record_stop();
+  EXPECT_EQ(toma_record_active(), 0);
+  EXPECT_EQ(toma_record_event_count(), 2u) << "one malloc + one free";
+  EXPECT_EQ(toma_record_dropped(), 0u);
+
+  const std::string path = testing::TempDir() + "capi.tomarec";
+  EXPECT_EQ(toma_record_dump(nullptr), TOMA_ERR_INVALID);
+  EXPECT_EQ(toma_record_dump(""), TOMA_ERR_INVALID);
+  ASSERT_EQ(toma_record_dump(path.c_str()), TOMA_OK);
+
+  // The dump carries the versioned magic; the binary layout itself is
+  // covered by the recorder round-trip tests.
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  ASSERT_NE(f, nullptr);
+  char magic[8] = {};
+  ASSERT_EQ(std::fread(magic, 1, 8, f), 8u);
+  std::fclose(f);
+  EXPECT_EQ(0, std::memcmp(magic, "TOMAREC\x1a", 8));
+  std::remove(path.c_str());
+  EXPECT_EQ(toma_pool_destroy(pool), TOMA_OK);
+}
+
+TEST(TomaC, MetricsExportBothFormats) {
+  // Touch a pool so telemetry builds have something to export.
+  toma_pool_config_t cfg = small_cfg();
+  toma_pool_t pool = nullptr;
+  ASSERT_EQ(toma_pool_create("capi-metrics", &cfg, &pool), TOMA_OK);
+  void* p = toma_malloc(pool, 128, nullptr);
+  toma_free(pool, p);
+
+  EXPECT_EQ(toma_metrics_export(nullptr, TOMA_METRICS_PROMETHEUS),
+            TOMA_ERR_INVALID);
+  EXPECT_EQ(toma_metrics_export("", TOMA_METRICS_JSON), TOMA_ERR_INVALID);
+
+  const std::string prom = testing::TempDir() + "capi_metrics.prom";
+  const std::string json = testing::TempDir() + "capi_metrics.json";
+  ASSERT_EQ(toma_metrics_export(prom.c_str(), TOMA_METRICS_PROMETHEUS),
+            TOMA_OK);
+  ASSERT_EQ(toma_metrics_export(json.c_str(), TOMA_METRICS_JSON), TOMA_OK);
+
+  // JSON always carries the schema envelope, even from an empty registry.
+  std::FILE* f = std::fopen(json.c_str(), "rb");
+  ASSERT_NE(f, nullptr);
+  char head[32] = {};
+  const size_t n = std::fread(head, 1, sizeof(head) - 1, f);
+  std::fclose(f);
+  ASSERT_GT(n, 0u);
+  EXPECT_NE(std::strstr(head, "\"schema_version\""), nullptr);
+  std::remove(prom.c_str());
+  std::remove(json.c_str());
+  EXPECT_EQ(toma_pool_destroy(pool), TOMA_OK);
+}
+
 TEST(TomaC, StreamAsyncToggleInConfig) {
   toma_pool_config_t cfg = small_cfg();
   cfg.stream_async = 0;  // force the front-end off for this pool

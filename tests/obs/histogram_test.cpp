@@ -79,6 +79,33 @@ TEST(Histogram, SingleSampleQuantiles) {
   EXPECT_DOUBLE_EQ(s.quantile(1.0), 100.0);
 }
 
+TEST(Histogram, QuantileEdgeCases) {
+  // Empty histogram: every quantile is 0, including the endpoints.
+  const HistogramSnapshot empty = Histogram().snapshot();
+  EXPECT_DOUBLE_EQ(empty.quantile(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(empty.quantile(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(empty.quantile(1.0), 0.0);
+
+  // All mass in bucket 0 (value 0): quantiles are exactly 0 with no
+  // interpolation drift.
+  Histogram zeros;
+  for (int i = 0; i < 10; ++i) zeros.record(0);
+  const HistogramSnapshot z = zeros.snapshot();
+  for (double q : {0.0, 0.5, 0.99, 1.0}) {
+    EXPECT_DOUBLE_EQ(z.quantile(q), 0.0) << "q=" << q;
+  }
+
+  // All mass in one power-of-two bucket: interpolation must stay clamped
+  // to the observed [min, max], not the bucket bounds.
+  Histogram one;
+  one.record(100);
+  one.record(120);
+  const HistogramSnapshot s = one.snapshot();
+  EXPECT_GE(s.quantile(0.0), 100.0) << "p0 clamps up to the observed min";
+  EXPECT_LE(s.quantile(0.999), 120.0) << "quantiles clamp to observed max";
+  EXPECT_DOUBLE_EQ(s.quantile(1.0), 120.0) << "p100 is the exact max";
+}
+
 TEST(Histogram, DiffSinceSubtractsCounts) {
   Histogram h;
   h.record(10);

@@ -1,0 +1,228 @@
+// Flight recorder: session lifecycle, identity interning (pools, streams,
+// blocks), bounded-buffer drop accounting, and .tomarec round-tripping.
+//
+// The Recorder is a process-wide singleton, so every test starts its own
+// session (start() discards the previous one) and stops before asserting.
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "obs/recorder.hpp"
+
+namespace toma::obs {
+namespace {
+
+std::string tmp_path(const char* name) {
+  return testing::TempDir() + name;
+}
+
+// Convenient fake "pointers" — the recorder only uses identity.
+void* ptr(std::uintptr_t v) { return reinterpret_cast<void*>(v); }
+
+RecordedPool pool_info(const std::string& name) {
+  RecordedPool p;
+  p.name = name;
+  p.pool_bytes = 1 << 20;
+  p.quota_bytes = 1 << 18;
+  p.release_threshold = 4096;
+  p.num_arenas = 4;
+  p.flags = kRecPoolAsync;
+  return p;
+}
+
+TEST(Recorder, SessionLifecycle) {
+  Recorder& r = Recorder::instance();
+  const std::uint64_t gen0 = r.generation();
+  ASSERT_TRUE(r.start());
+  EXPECT_TRUE(r.active());
+  EXPECT_TRUE(recording_enabled());
+  EXPECT_EQ(r.generation(), gen0 + 1);
+  EXPECT_FALSE(r.start()) << "double start must fail";
+  r.stop();
+  EXPECT_FALSE(r.active());
+  // A stopped session's events stay dumpable; a new start discards them.
+  ASSERT_TRUE(r.start());
+  EXPECT_EQ(r.generation(), gen0 + 2);
+  EXPECT_EQ(r.event_count(), 0u);
+  r.stop();
+}
+
+TEST(Recorder, InternPoolIsIdempotentPerSession) {
+  Recorder& r = Recorder::instance();
+  ASSERT_TRUE(r.start());
+  const std::uint16_t a = r.intern_pool(pool_info("a"));
+  const std::uint16_t b = r.intern_pool(pool_info("b"));
+  EXPECT_NE(a, b);
+  EXPECT_EQ(r.intern_pool(pool_info("a")), a);
+  r.stop();
+  const RecordedTrace t = r.trace();
+  ASSERT_EQ(t.pools.size(), 2u);
+  EXPECT_EQ(t.pools[a].name, "a");
+  EXPECT_EQ(t.pools[b].name, "b");
+  EXPECT_EQ(t.pools[a].quota_bytes, 1u << 18);
+  EXPECT_EQ(t.pools[a].flags, kRecPoolAsync);
+}
+
+TEST(Recorder, BlockIdsAreDenseAndFreeResolvesThem) {
+  Recorder& r = Recorder::instance();
+  ASSERT_TRUE(r.start());
+  const std::uint16_t p = r.intern_pool(pool_info("p"));
+  const std::uint32_t b1 =
+      r.on_alloc(p, RecOp::kMalloc, 64, 0, true, ptr(0x1000), 0);
+  const std::uint32_t b2 =
+      r.on_alloc(p, RecOp::kMalloc, 128, 0, true, ptr(0x2000), 0);
+  EXPECT_EQ(b1, 1u);
+  EXPECT_EQ(b2, 2u);
+  // Failed allocation: no block id granted.
+  EXPECT_EQ(r.on_alloc(p, RecOp::kMalloc, 64, 0, true, nullptr, 2), 0u);
+  r.on_free(p, RecOp::kFree, ptr(0x1000), 0, true);
+  // Re-allocating the same address gets a *new* id (the old one was
+  // consumed by the free).
+  const std::uint32_t b3 =
+      r.on_alloc(p, RecOp::kMalloc, 64, 0, true, ptr(0x1000), 0);
+  EXPECT_EQ(b3, 3u);
+  // A pointer the recorder never saw frees as block 0 (replay skips it).
+  r.on_free(p, RecOp::kFree, ptr(0xdead), 0, true);
+  r.stop();
+
+  const RecordedTrace t = r.trace();
+  ASSERT_EQ(t.events.size(), 6u);
+  EXPECT_EQ(t.events[0].block, 1u);
+  EXPECT_EQ(t.events[1].block, 2u);
+  EXPECT_EQ(t.events[2].block, 0u);
+  EXPECT_EQ(t.events[2].outcome, 2u);
+  EXPECT_EQ(t.events[3].block, 1u);
+  EXPECT_EQ(t.events[3].op, RecOp::kFree);
+  EXPECT_EQ(t.events[4].block, 3u);
+  EXPECT_EQ(t.events[5].block, 0u);
+  for (std::size_t i = 0; i < t.events.size(); ++i) {
+    EXPECT_EQ(t.events[i].seq, i) << "seq must be the event index";
+  }
+}
+
+TEST(Recorder, StreamsInternInFirstAppearanceOrder) {
+  Recorder& r = Recorder::instance();
+  ASSERT_TRUE(r.start());
+  const std::uint16_t p = r.intern_pool(pool_info("p"));
+  r.on_alloc(p, RecOp::kMallocAsync, 64, 77, false, ptr(0x10), 0);
+  r.on_alloc(p, RecOp::kMallocAsync, 64, 42, false, ptr(0x20), 0);
+  r.on_alloc(p, RecOp::kMallocAsync, 64, 77, false, ptr(0x30), 0);
+  r.on_sync(p, RecOp::kSync, 99, true, 0);  // default stream pins id 0
+  r.stop();
+  const RecordedTrace t = r.trace();
+  ASSERT_EQ(t.events.size(), 4u);
+  EXPECT_EQ(t.events[0].stream, 1u);
+  EXPECT_EQ(t.events[1].stream, 2u);
+  EXPECT_EQ(t.events[2].stream, 1u) << "same gpu stream, same interned id";
+  EXPECT_EQ(t.events[3].stream, 0u) << "default stream is always id 0";
+}
+
+TEST(Recorder, FullBufferDropsAndCounts) {
+  Recorder& r = Recorder::instance();
+  ASSERT_TRUE(r.start(1));  // clamps to the 1024-event minimum
+  const std::uint16_t p = r.intern_pool(pool_info("p"));
+  for (int i = 0; i < 1500; ++i) {
+    r.on_sync(p, RecOp::kSync, 0, true, 0);
+  }
+  r.stop();
+  EXPECT_EQ(r.event_count(), 1024u);
+  EXPECT_EQ(r.dropped(), 1500u - 1024u);
+  EXPECT_EQ(r.trace().dropped, 1500u - 1024u);
+}
+
+TEST(Recorder, ReallocMovesBlockIdentity) {
+  Recorder& r = Recorder::instance();
+  ASSERT_TRUE(r.start());
+  const std::uint16_t p = r.intern_pool(pool_info("p"));
+  r.on_alloc(p, RecOp::kMalloc, 64, 0, true, ptr(0x1000), 0);
+  // Successful move: old id consumed, new id granted.
+  r.on_realloc(p, ptr(0x1000), ptr(0x3000), 256, 0);
+  // The old pointer is gone from the map now.
+  r.on_free(p, RecOp::kFree, ptr(0x1000), 0, true);
+  // Failed grow: old block stays live.
+  r.on_realloc(p, ptr(0x3000), nullptr, 1 << 30, 2);
+  r.on_free(p, RecOp::kFree, ptr(0x3000), 0, true);
+  r.stop();
+
+  const RecordedTrace t = r.trace();
+  ASSERT_EQ(t.events.size(), 5u);
+  EXPECT_EQ(t.events[1].op, RecOp::kRealloc);
+  EXPECT_EQ(t.events[1].block, 1u);
+  EXPECT_EQ(t.events[1].aux, 2u);
+  EXPECT_EQ(t.events[2].block, 0u) << "old pointer no longer resolves";
+  EXPECT_EQ(t.events[3].block, 2u);
+  EXPECT_EQ(t.events[3].aux, 0u) << "failed realloc grants no block";
+  EXPECT_EQ(t.events[4].block, 2u) << "failed realloc keeps the block live";
+}
+
+TEST(RecordedTrace, RoundTripsThroughDisk) {
+  Recorder& r = Recorder::instance();
+  ASSERT_TRUE(r.start());
+  const std::uint16_t a = r.intern_pool(pool_info("tenant-a"));
+  const std::uint16_t b = r.intern_pool(pool_info("tenant-b"));
+  r.on_alloc(a, RecOp::kMalloc, 4096, 0, true, ptr(0x1000), 0);
+  r.on_alloc(b, RecOp::kMallocAsync, 64, 7, false, ptr(0x2000), 0);
+  r.on_free(a, RecOp::kFree, ptr(0x1000), 0, true);
+  r.on_sync(b, RecOp::kTrim, 0, true, 3);
+  r.stop();
+
+  const std::string path = tmp_path("roundtrip.tomarec");
+  ASSERT_TRUE(r.dump(path));
+
+  RecordedTrace back;
+  ASSERT_TRUE(RecordedTrace::read(path, &back));
+  EXPECT_EQ(back.version, kTomarecVersion);
+  ASSERT_EQ(back.pools.size(), 2u);
+  EXPECT_EQ(back.pools[0].name, "tenant-a");
+  EXPECT_EQ(back.pools[1].name, "tenant-b");
+  EXPECT_EQ(back.pools[1].num_arenas, 4u);
+  EXPECT_EQ(back.dropped, 0u);
+  const RecordedTrace orig = r.trace();
+  ASSERT_EQ(back.events.size(), orig.events.size());
+  for (std::size_t i = 0; i < back.events.size(); ++i) {
+    EXPECT_EQ(0, std::memcmp(&back.events[i], &orig.events[i],
+                             sizeof(RecordEvent)))
+        << "event " << i << " changed across the disk round trip";
+  }
+  std::remove(path.c_str());
+}
+
+TEST(RecordedTrace, ReadRejectsGarbage) {
+  const std::string path = tmp_path("garbage.tomarec");
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  ASSERT_NE(f, nullptr);
+  std::fputs("this is not a trace", f);
+  std::fclose(f);
+  RecordedTrace t;
+  EXPECT_FALSE(RecordedTrace::read(path, &t));
+  EXPECT_FALSE(RecordedTrace::read(tmp_path("missing.tomarec"), &t));
+  std::remove(path.c_str());
+}
+
+TEST(RecordedTrace, ReadRejectsTruncatedBody) {
+  Recorder& r = Recorder::instance();
+  ASSERT_TRUE(r.start());
+  const std::uint16_t p = r.intern_pool(pool_info("p"));
+  for (int i = 0; i < 16; ++i) r.on_sync(p, RecOp::kSync, 0, true, 0);
+  r.stop();
+  const std::string path = tmp_path("truncated.tomarec");
+  ASSERT_TRUE(r.dump(path));
+  // Chop the last event in half: the event-count / file-size cross-check
+  // must refuse.
+  std::FILE* f = std::fopen(path.c_str(), "rb+");
+  ASSERT_NE(f, nullptr);
+  ASSERT_EQ(std::fseek(f, 0, SEEK_END), 0);
+  const long size = std::ftell(f);
+  std::fclose(f);
+  ASSERT_EQ(truncate(path.c_str(), size - 16), 0);
+  RecordedTrace t;
+  EXPECT_FALSE(RecordedTrace::read(path, &t));
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace toma::obs

@@ -1,0 +1,143 @@
+#!/usr/bin/env python3
+"""Lint a Prometheus text-exposition file (the toma metrics export).
+
+Fails (exit 1) on:
+  * unnamed or illegally named series (metric names must match
+    [a-zA-Z_:][a-zA-Z0-9_:]*; label names [a-zA-Z_][a-zA-Z0-9_]*)
+  * duplicate series (same metric name + identical label set twice)
+  * a sample line that cannot be parsed at all
+  * a # TYPE line for a metric that then never appears (and vice versa:
+    samples with no preceding # TYPE)
+  * non-numeric sample values
+
+Usage: lint_prometheus.py FILE [FILE...]
+"""
+
+import re
+import sys
+
+METRIC_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+LABEL_RE = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*$")
+SAMPLE_RE = re.compile(
+    r"^(?P<name>[^\s{]+)"
+    r"(?:\{(?P<labels>[^}]*)\})?"
+    r"\s+(?P<value>\S+)"
+    r"(?:\s+(?P<ts>\S+))?$"
+)
+LABEL_PAIR_RE = re.compile(r'([^=,]+)="((?:[^"\\]|\\.)*)"')
+
+
+def is_number(s: str) -> bool:
+    if s in ("+Inf", "-Inf", "NaN"):
+        return True
+    try:
+        float(s)
+        return True
+    except ValueError:
+        return False
+
+
+def lint(path: str) -> int:
+    errors = 0
+
+    def err(lineno, msg):
+        nonlocal errors
+        errors += 1
+        print(f"{path}:{lineno}: {msg}", file=sys.stderr)
+
+    typed = {}  # metric name -> (lineno, type)
+    sampled = set()  # metric names that had at least one sample
+    seen_series = {}  # (name, frozen labels) -> first lineno
+
+    with open(path, encoding="utf-8") as f:
+        for lineno, raw in enumerate(f, 1):
+            line = raw.rstrip("\n")
+            if not line.strip():
+                continue
+            if line.startswith("#"):
+                parts = line.split(None, 3)
+                if len(parts) >= 2 and parts[1] == "TYPE":
+                    if len(parts) < 4:
+                        err(lineno, f"malformed TYPE line: {line!r}")
+                        continue
+                    name, mtype = parts[2], parts[3]
+                    if not METRIC_RE.match(name):
+                        err(lineno, f"illegal metric name in TYPE: {name!r}")
+                    if mtype not in ("counter", "gauge", "histogram",
+                                     "summary", "untyped"):
+                        err(lineno, f"unknown metric type {mtype!r}")
+                    if name in typed:
+                        err(lineno,
+                            f"duplicate TYPE for {name} "
+                            f"(first at line {typed[name][0]})")
+                    typed[name] = (lineno, mtype)
+                continue
+
+            m = SAMPLE_RE.match(line)
+            if not m:
+                err(lineno, f"unparseable sample line: {line!r}")
+                continue
+            name = m.group("name")
+            if not name:
+                err(lineno, "unnamed series")
+                continue
+            if not METRIC_RE.match(name):
+                err(lineno, f"illegal metric name: {name!r}")
+                continue
+            labels = []
+            if m.group("labels"):
+                body = m.group("labels")
+                consumed = 0
+                for pm in LABEL_PAIR_RE.finditer(body):
+                    lname = pm.group(1).strip().lstrip(",").strip()
+                    if not LABEL_RE.match(lname):
+                        err(lineno, f"illegal label name: {lname!r}")
+                    labels.append((lname, pm.group(2)))
+                    consumed += len(pm.group(0))
+                if not labels and body.strip():
+                    err(lineno, f"unparseable label block: {body!r}")
+                lnames = [k for k, _ in labels]
+                if len(set(lnames)) != len(lnames):
+                    err(lineno, f"repeated label name in: {body!r}")
+            if not is_number(m.group("value")):
+                err(lineno, f"non-numeric value: {m.group('value')!r}")
+
+            # Histogram/summary family samples hang off the TYPE'd base
+            # name (name, name_bucket, name_sum, name_count).
+            base = name
+            for suffix in ("_bucket", "_sum", "_count"):
+                if name.endswith(suffix) and name[: -len(suffix)] in typed:
+                    base = name[: -len(suffix)]
+                    break
+            if base not in typed:
+                err(lineno, f"sample for {name} has no preceding # TYPE")
+            sampled.add(base)
+
+            key = (name, frozenset(labels))
+            if key in seen_series:
+                err(lineno,
+                    f"duplicate series {name}{{{dict(labels)}}} "
+                    f"(first at line {seen_series[key]})")
+            else:
+                seen_series[key] = lineno
+
+    for name, (lineno, _) in typed.items():
+        if name not in sampled:
+            err(lineno, f"# TYPE {name} declared but no samples follow")
+
+    if errors == 0:
+        print(f"{path}: OK ({len(seen_series)} series, "
+              f"{len(typed)} metrics)")
+    return errors
+
+
+def main() -> int:
+    if len(sys.argv) < 2:
+        print(__doc__, file=sys.stderr)
+        return 2
+    total = sum(lint(p) for p in sys.argv[1:])
+    return 1 if total else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
