@@ -49,6 +49,10 @@ alloc::HeapConfig churn_cfg(bool fastpaths) {
   cfg.num_arenas = 8;
   cfg.magazines = fastpaths;
   cfg.quicklist = fastpaths;
+  // The fixed lane is a fast path too (it re-routes sub-64 B async frees
+  // around the pending list entirely); the OFF arm must be the paper's
+  // exact front-end or the 16 B leg measures the lane, not the batching.
+  cfg.fixed_lane = fastpaths;
   return cfg;
 }
 

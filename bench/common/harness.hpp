@@ -20,6 +20,7 @@
 #include <string>
 #include <vector>
 
+#include "alloc/config.hpp"  // TOMA_FIXED_LANE default for the run meta
 #include "gpusim/gpusim.hpp"
 #include "obs/export.hpp"
 #include "obs/recorder.hpp"
@@ -201,6 +202,7 @@ inline void stamp_run_meta(const Options& opt, util::Table& table) {
   table.set_meta("threads_per_sm", std::to_string(opt.threads_per_sm));
   table.set_meta("workers", std::to_string(opt.workers));
   table.set_meta("telemetry", TOMA_TELEMETRY ? "on" : "off");
+  table.set_meta("fixed_lane", TOMA_FIXED_LANE ? "on" : "off");
 }
 
 inline void finish_table(const Options& opt, util::Table& table) {

@@ -17,6 +17,8 @@
 // and the baseline can win at some sizes; our failure rate is ~0 for
 // >= 4 KB, moderate at 512 B..2 KB (header overhead), small below that.
 #include <cinttypes>
+#include <cstdlib>
+#include <cstring>
 #include <memory>
 #include <vector>
 
@@ -88,6 +90,25 @@ Result run_case(gpu::Device& dev, const Options& opt, const SizeCase& c,
 }
 
 int main_impl(int argc, char** argv) {
+  // Local pre-scan: --only=BYTES restricts the sweep to one size case and
+  // --ours-only skips the two baseline allocators (iterating/profiling a
+  // single row without the 17-case three-allocator sweep). Stripped
+  // before the shared parser sees them.
+  std::size_t only = 0;
+  bool ours_only = false;
+  {
+    int w = 1;
+    for (int i = 1; i < argc; ++i) {
+      if (std::strncmp(argv[i], "--only=", 7) == 0) {
+        only = static_cast<std::size_t>(std::atoll(argv[i] + 7));
+      } else if (std::strcmp(argv[i], "--ours-only") == 0) {
+        ours_only = true;
+      } else {
+        argv[w++] = argv[i];
+      }
+    }
+    argc = w;
+  }
   Options opt = Options::parse(argc, argv);
   // Smaller device by default: the baseline's serialized throughput is
   // one allocation per scheduling round, and round length scales with
@@ -105,9 +126,12 @@ int main_impl(int argc, char** argv) {
                     "ua binmiss"});
 
   for (const SizeCase& c : build_cases(opt.full, opt.quick)) {
+    if (only != 0 && c.alloc_size != only) continue;
     // --- CUDA-toolkit-allocator stand-in --------------------------------
     Result base;
-    {
+    base.attempts = c.threads;
+    base.secs = 1.0;  // placeholder when --ours-only skips the baseline
+    if (!ours_only) {
       auto pool = std::aligned_alloc(4096, c.pool_bytes);
       auto heap = std::make_unique<baseline::SerialHeapAllocator>(
           pool, c.pool_bytes);
@@ -125,7 +149,7 @@ int main_impl(int argc, char** argv) {
     // --- ScatterAllocLite (research comparator, sizes <= one page) -------
     Result scatter;
     bool scatter_ran = false;
-    if (c.alloc_size <= baseline::ScatterAllocLite::kMaxAlloc) {
+    if (!ours_only && c.alloc_size <= baseline::ScatterAllocLite::kMaxAlloc) {
       auto pool = std::aligned_alloc(4096, c.pool_bytes);
       auto sa = std::make_unique<baseline::ScatterAllocLite>(pool,
                                                              c.pool_bytes);

@@ -77,6 +77,8 @@ typedef struct toma_pool_config {
   uint64_t slo_latency_ns;  /* per-op latency SLO target in ns; an op
                              * slower than this bumps the pool's
                              * SLO-violation counter. 0 = no SLO         */
+  int fixed_lane;           /* constant-time 8-64 B fast lane:
+                             * -1 = build default, 0 = off, 1 = on       */
 } toma_pool_config_t;
 
 /* The library defaults (64 MiB pool, unlimited quota, retain-all

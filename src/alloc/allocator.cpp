@@ -37,6 +37,7 @@ GpuAllocator::GpuAllocator(const HeapConfig& cfg)
   buddy_->set_cas_claim(cfg.cas_claim);
   ualloc_ = std::make_unique<UAlloc>(*buddy_, cfg.num_arenas);
   ualloc_->set_magazines(cfg.magazines);
+  lane_ = std::make_unique<FixedLane>(*ualloc_, cfg.fixed_lane);
   san_ = std::make_unique<san::HeapSan>(
       san::HeapSanConfig{}, [this](void* base) { free_base(base); });
   san_->set_enabled(cfg.heapsan);
@@ -53,6 +54,7 @@ GpuAllocator::~GpuAllocator() {
   // alive: teardown drains the quarantine through the real free paths.
   if (san_->engaged()) san_->teardown_check();
   san_.reset();
+  lane_.reset();
   ualloc_.reset();
   buddy_.reset();
   std::free(pool_);
@@ -69,7 +71,16 @@ std::size_t GpuAllocator::effective_size(std::size_t size) {
 }
 
 void* GpuAllocator::route_alloc(std::size_t rounded) {
-  if (rounded <= kMaxUAllocSize) return ualloc_->allocate(rounded);
+  if (rounded <= kMaxUAllocSize) {
+    // Fixed-lane first hop: a hot small class is served by a constant-time
+    // lane pop (or a slab-grained refill). A lane miss whose refill found
+    // no memory still falls through — a single block can succeed where a
+    // slab could not, so the failure rate stays truthful.
+    if (FixedLane::eligible_size(rounded) && lane_->enabled()) {
+      if (void* p = lane_->allocate(rounded)) return p;
+    }
+    return ualloc_->allocate(rounded);
+  }
   return buddy_->allocate_bytes(rounded);
 }
 
@@ -83,8 +94,16 @@ void GpuAllocator::free_base(void* base) {
     charged = buddy_->allocation_size(base);
     buddy_->free(base);
   } else {
-    charged = ualloc_->usable_size(base);
-    ualloc_->free(base);
+    // Decode once, then route: lane-served classes are cached on the
+    // freeing SM's lane (bitmap bit stays claimed — the block is a
+    // pool-level cache, so the quota charge is still released);
+    // everything else takes the ordinary UAlloc free.
+    std::uint32_t idx;
+    BinHeader* bin = ualloc_->decode_block(base, &idx);
+    charged = size_of_class(bin->size_class);
+    if (!lane_->try_free_decoded(base, bin)) {
+      ualloc_->free_decoded(bin, idx, base);
+    }
   }
   in_use_.fetch_sub(charged, std::memory_order_relaxed);
 }
@@ -134,6 +153,13 @@ void* GpuAllocator::malloc(std::size_t size, AllocStatus* status) {
     return nullptr;
   }
   void* p = route_alloc(rounded);
+  if (p == nullptr && lane_->enabled()) {
+    // Lane-resident blocks pin bins (and thus chunks) in other classes'
+    // way; under pool pressure they are republished before OOM is
+    // declared — so the exhaustion point with the lane on is the same as
+    // without it.
+    if (lane_->flush() > 0) p = route_alloc(rounded);
+  }
   if (p == nullptr && san_->engaged() && san_->flush_quarantine() > 0) {
     // Quarantined blocks pin real memory; under pool pressure they are
     // reclaimed before OOM is declared (same contract as the magazine
@@ -248,6 +274,7 @@ GpuAllocatorStats GpuAllocator::stats() const {
   GpuAllocatorStats s;
   s.buddy = buddy_->stats();
   s.ualloc = ualloc_->stats();
+  s.lane = lane_->stats();
   s.heapsan = san_->stats();
   s.mallocs = st_mallocs_.load(std::memory_order_relaxed);
   s.failed_mallocs = st_failed_.load(std::memory_order_relaxed);

@@ -15,6 +15,7 @@
 #include <memory>
 
 #include "alloc/config.hpp"
+#include "alloc/fixed_lane.hpp"
 #include "alloc/tbuddy.hpp"
 #include "alloc/ualloc.hpp"
 #include "san/heapsan.hpp"
@@ -68,6 +69,7 @@ struct HeapConfig {
   bool magazines = TOMA_UALLOC_MAGAZINES != 0;
   bool quicklist = TOMA_TBUDDY_QUICKLIST != 0;
   bool cas_claim = TOMA_TBUDDY_CAS_CLAIM != 0;
+  bool fixed_lane = TOMA_FIXED_LANE != 0;
 
   /// Constructible without asserting? (The C facade validates before
   /// constructing; the constructor itself still asserts.)
@@ -80,6 +82,7 @@ struct HeapConfig {
 struct GpuAllocatorStats {
   TBuddyStats buddy;
   UAllocStats ualloc;
+  FixedLaneStats lane;
   san::HeapSanStats heapsan;
   std::uint64_t mallocs = 0;
   std::uint64_t failed_mallocs = 0;
@@ -158,7 +161,23 @@ class GpuAllocator {
 
   TBuddy& buddy() { return *buddy_; }
   UAlloc& ualloc() { return *ualloc_; }
+  FixedLane& fixed_lane() { return *lane_; }
   san::HeapSan& heapsan() { return *san_; }
+
+  /// Runtime switch for the fixed-size fast lane (default: the
+  /// compile-time TOMA_FIXED_LANE option). Disabling flushes every
+  /// lane-resident block back into the bin accounting.
+  void set_fixed_lane(bool on) { lane_->set_enabled(on); }
+  bool fixed_lane_enabled() const { return lane_->enabled(); }
+
+  /// Would free(p) route through the fixed lane? True for lane-served
+  /// UAlloc blocks while the lane is on — Pool::free_async uses this to
+  /// skip the per-(pool, stream) pending-block machinery for blocks the
+  /// lane recycles in O(1) anyway.
+  bool lane_routable(void* p) const {
+    return lane_->enabled() && !util::is_aligned(p, kPageSize) &&
+           ualloc_->usable_size(p) <= kFixedLaneMaxSize;
+  }
 
   /// Runtime switch for the HeapSan layer (default: the compile-time
   /// TOMA_HEAPSAN option). Enabling sanitizes subsequent allocations;
@@ -175,21 +194,25 @@ class GpuAllocator {
   /// coalesce back into maximal blocks. Returns chunks released.
   std::size_t trim() {
     if (san_->engaged()) san_->flush_quarantine();
+    lane_->flush();  // lane-resident blocks pin bins exactly like magazines
     const std::size_t chunks = ualloc_->trim();
     buddy_->trim();
     return chunks;
   }
 
-  /// Flush the UAlloc magazines only (cached blocks re-enter the bin
-  /// accounting; no chunk is returned to the buddy). Returns blocks
-  /// flushed.
-  std::size_t release_cached() { return ualloc_->release_cached(); }
+  /// Flush the fixed lanes and UAlloc magazines only (cached blocks
+  /// re-enter the bin accounting; no chunk is returned to the buddy).
+  /// Returns blocks flushed.
+  std::size_t release_cached() {
+    return lane_->flush() + ualloc_->release_cached();
+  }
 
   GpuAllocatorStats stats() const;
 
   /// Combined quiescent consistency check (tests).
   bool check_consistency() const {
-    return buddy_->check_consistency() && ualloc_->check_consistency();
+    return buddy_->check_consistency() && ualloc_->check_consistency() &&
+           lane_->check_consistency();
   }
 
  private:
@@ -212,6 +235,7 @@ class GpuAllocator {
   void* pool_;
   std::unique_ptr<TBuddy> buddy_;
   std::unique_ptr<UAlloc> ualloc_;
+  std::unique_ptr<FixedLane> lane_;
   std::unique_ptr<san::HeapSan> san_;
   std::atomic<std::size_t> quota_{0};
   std::atomic<std::size_t> in_use_{0};

@@ -100,6 +100,84 @@ constexpr std::uint32_t magazine_capacity(std::uint32_t cls) {
   return kMagazineBinFactor * bin_capacity(cls);
 }
 
+// --- fixed-size fast lane (not in the paper; docs/INTERNALS.md §4d) --------
+//
+// A per-(SM, size-class) constant-time allocation lane for the hottest
+// small classes (8..64 B), after Blelloch & Wei, "Concurrent Fixed-Size
+// Allocation and Free in Constant Time" (arXiv:2008.04296): each lane is a
+// LIFO block stack with O(1) push/pop, backed by bounded *slabs* carved
+// out of the UAlloc bins in one batched semaphore transaction. A
+// lane-resident block keeps its bitmap bit claimed and owns no semaphore
+// unit — the same claimed-while-cached invariant the magazines, the
+// quicklists, and the HeapSan quarantine rely on — so the lane commutes
+// with every accounting invariant below it.
+
+/// Compile-time default for the fixed-size fast lane (CMake option
+/// TOMA_FIXED_LANE, default ON). GpuAllocator::set_fixed_lane() toggles at
+/// runtime; this macro only selects the starting state, so a lane-OFF
+/// build still compiles (and tests) the machinery.
+#ifndef TOMA_FIXED_LANE
+#define TOMA_FIXED_LANE 1
+#endif
+
+/// Largest block size the lane serves. Classes 0..3 (8, 16, 32, 64 B) are
+/// the paper's hottest sizes (Figure 7) and the ones whose bins hold
+/// enough blocks for slab-grained refill to amortize well.
+inline constexpr std::size_t kFixedLaneMaxSize = 64;
+
+/// Number of lane-served size classes (8, 16, 32, 64 B -> 4).
+inline constexpr std::uint32_t kFixedLaneClasses =
+    size_class_of(kFixedLaneMaxSize) + 1;
+
+/// Largest refill slab: bound on blocks fetched per bulk-semaphore
+/// transaction, sizing the stack-local transfer array in the refill path
+/// (256 pointers = 2 KB, safe on 32 KB fiber stacks).
+inline constexpr std::uint32_t kFixedLaneMaxRefill = 256;
+
+/// Refill slab size: blocks fetched from UAlloc in ONE bulk-semaphore
+/// transaction. A whole bin where the transfer array allows it — the
+/// batch then claims a freshly grown bin outright instead of leaving it
+/// half-listed.
+constexpr std::uint32_t fixed_lane_refill(std::uint32_t cls) {
+  return bin_capacity(cls) < kFixedLaneMaxRefill ? bin_capacity(cls)
+                                                 : kFixedLaneMaxRefill;
+}
+
+/// Bulk transactions per refill: each batch reuses the same stack-local
+/// array (the slab is spliced into the lane between batches), and the
+/// loop stops early once the lane reaches its low-water stock, so this
+/// is a ceiling, not a quota.
+inline constexpr std::uint32_t kFixedLaneRefillBatches = 4;
+
+/// Cached-block bound of one (SM, class) lane. Two bins' worth, but
+/// never less than 256 blocks: the larger lane classes have small bins
+/// (64 x 64 B), and a lane that can buffer only a couple of warps' worth
+/// of stock drains to empty between refills — the stock-ahead that makes
+/// pops sync-free needs headroom in blocks, not bins. 256 blocks of the
+/// largest lane class is 16 KB per (SM, class): still magazine-scale.
+constexpr std::uint32_t fixed_lane_capacity(std::uint32_t cls) {
+  const std::uint32_t two_bins = 2 * bin_capacity(cls);
+  return two_bins < 256 ? 256 : two_bins;
+}
+
+/// Hysteresis: a push that crosses the capacity spills the lane down to
+/// the low-water mark through the real free path, so one crossing buys
+/// cap/2 further O(1) frees before the next spill. The low-water mark is
+/// also the refill target: a refill stocks to here, no further.
+constexpr std::uint32_t fixed_lane_low_water(std::uint32_t cls) {
+  return fixed_lane_capacity(cls) / 2;
+}
+
+/// Proactive top-up trigger: a *successful* pop that leaves the stock
+/// below this mark refills the lane in the background of its own hit —
+/// the popper already holds its block, so the batch transaction adds
+/// latency to one hit in ~low_water rather than a rendezvous for a whole
+/// stalled warp. This is what keeps the lane from oscillating between
+/// full and empty under allocation-only bursts.
+constexpr std::uint32_t fixed_lane_top_trigger(std::uint32_t cls) {
+  return fixed_lane_capacity(cls) / 4;
+}
+
 // --- TBuddy quicklist front-end (not in the paper; docs/INTERNALS.md §4c) --
 //
 // Each TBuddy order keeps a bounded Treiber stack of recently freed blocks

@@ -1,0 +1,207 @@
+// FixedLane: a constant-time fixed-size allocation fast lane for the hot
+// small size classes (8..64 B), after Blelloch & Wei, "Concurrent
+// Fixed-Size Allocation and Free in Constant Time" (arXiv:2008.04296).
+//
+// Structure (docs/INTERNALS.md §4d):
+//
+//   * One lane per (SM, lane class): a LIFO stack of free blocks linked
+//     through their own dead payload, push/pop O(1) under a lane-private
+//     spin lock (uncontended in the steady state — exactly the Magazine
+//     discipline one layer up).
+//   * Refill is *slab-grained*: a refill fetches fixed_lane_refill(cls)
+//     blocks per bulk-semaphore transaction (UAlloc::allocate_batch) —
+//     either a batched claim over the listed bins or one freshly grown
+//     bin whose first half is the slab — looping until the lane reaches
+//     its low-water mark. This is what closes the fig7 gap: the
+//     workload's per-thread single malloc costs 1/refill-th of a
+//     semaphore round trip instead of a whole one.
+//   * The lane *stays* stocked two ways. A pop that drains the stock
+//     below fixed_lane_top_trigger(cls) restocks proactively (top-up),
+//     so steady-state traffic rides first-try pops instead of
+//     oscillating between full and empty. An in-kernel miss coalesces
+//     the warp: mates that missed the same empty lane rendezvous, the
+//     leader fetches one slab ungated (a stampede of leaders briefly
+//     over-stocks and the spill hysteresis reclaims the excess — gating
+//     the leader would strand its whole warp, measurably worse), and
+//     the members pop the freshly stocked lane after one broadcast.
+//   * Spill has hysteresis: a push that crosses fixed_lane_capacity(cls)
+//     drains the lane down to the low-water mark through the paper's
+//     free-publication path, so one crossing buys cap/2 further O(1)
+//     frees.
+//
+// Invariant: a lane-resident block is, to the bin machinery, still
+// *allocated* — its bitmap bit stays claimed, its bin's free_count
+// excludes it, and no semaphore unit exists for it (the magazines'
+// claimed-while-cached invariant). flush() re-publishes every cached
+// block, so trim(), pool-pressure OOM retries, and runtime disable all
+// see exact accounting.
+//
+// The lane sits in GpuAllocator::route_alloc / free_base, *ahead of* the
+// magazine probe inside UAlloc: lane-served classes reach the magazines
+// only via spill/flush, larger classes never see the lane.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "alloc/config.hpp"
+#include "sync/spin_mutex.hpp"
+
+namespace toma::gpu {
+class ThreadCtx;
+}
+
+namespace toma::alloc {
+
+class UAlloc;
+struct BinHeader;
+
+struct FixedLaneStats {
+  std::uint64_t hits = 0;           // allocations served by a lane pop
+  std::uint64_t misses = 0;         // pops on an empty lane (refill follows)
+  std::uint64_t refills = 0;        // slab refill transactions
+  std::uint64_t refill_blocks = 0;  // blocks fetched by refills
+  std::uint64_t topups = 0;         // proactive low-stock restocks (on hits)
+  std::uint64_t spills = 0;         // pushes that crossed the high water
+  std::uint64_t spill_blocks = 0;   // blocks drained by spill hysteresis
+  std::uint64_t flushes = 0;        // blocks drained by flush()
+  std::uint64_t cached = 0;         // blocks lane-resident right now
+};
+
+class FixedLane {
+ public:
+  /// `num_arenas` lanes per class, matching the UAlloc arena (= SM) count.
+  FixedLane(UAlloc& ua, bool enabled);
+  ~FixedLane();
+
+  FixedLane(const FixedLane&) = delete;
+  FixedLane& operator=(const FixedLane&) = delete;
+
+  /// Is a rounded request size lane-served at all (compile-time shape)?
+  static constexpr bool eligible_size(std::size_t rounded) {
+    return rounded <= kFixedLaneMaxSize;
+  }
+
+  /// Runtime switch (default: the compile-time TOMA_FIXED_LANE). Turning
+  /// the lane off flushes every cached block back into the bin
+  /// accounting, so the paper-faithful configuration is reachable at any
+  /// quiescent point.
+  void set_enabled(bool on) {
+    on_.store(on, std::memory_order_relaxed);
+    if (!on) flush();
+  }
+  bool enabled() const { return on_.load(std::memory_order_relaxed); }
+
+  /// Allocate a block of rounded power-of-two `size` (<= kFixedLaneMaxSize)
+  /// from the calling SM's lane, refilling a slab from UAlloc on a miss.
+  /// nullptr when the refill found no memory anywhere — the caller falls
+  /// through to the ordinary allocation path (which can still satisfy a
+  /// single block where a slab failed).
+  void* allocate(std::size_t size);
+
+  /// Free-side hook, called with the block already decoded. Caches `p` on
+  /// the calling SM's lane (cross-SM frees land on the *freeing* SM, like
+  /// magazine pushes — the block carries its identity in the bin header).
+  /// Returns false when the lane is off or the class is not lane-served;
+  /// the caller then frees through the normal path.
+  bool try_free_decoded(void* p, const BinHeader* bin);
+
+  /// Drain every lane: each cached block re-enters the accounting through
+  /// the free-publication path. Returns blocks flushed. Safe concurrently
+  /// with allocation (new blocks may be cached while we drain; each
+  /// *observed* block is flushed exactly once).
+  std::size_t flush();
+
+  /// Blocks cached right now across all lanes (quiescent-exact).
+  std::size_t cached_count() const;
+
+  /// Blocks cached in one (arena, class) lane (tests, stats).
+  std::uint32_t lane_count(std::uint32_t arena, std::uint32_t cls) const;
+
+  FixedLaneStats stats() const;
+
+  /// Test hook: verify every cached block still holds its claimed bitmap
+  /// bit, belongs to the class it is filed under, and chain lengths match
+  /// the counts. Quiescent-only, like UAlloc::check_consistency.
+  bool check_consistency() const;
+
+ private:
+  /// One (SM, class) lane. Blocks are linked through their first word
+  /// (every lane class is >= 8 B and 8-byte aligned). Cache-line aligned
+  /// so neighbouring lanes never false-share.
+  struct alignas(64) Lane {
+    mutable sync::SpinMutex mu;
+    void* head = nullptr;
+    std::atomic<std::uint32_t> count{0};
+    /// At most ONE thread refills a lane at a time. A fiber that yields
+    /// inside the refill's semaphore wait would otherwise let every
+    /// warp-mate that missed the same empty lane fetch its own slab —
+    /// the lane would balloon far past its capacity bound. Losers fall
+    /// through to the ordinary single-block path instead of piling on.
+    std::atomic<bool> refilling{false};
+
+    void* pop();
+    /// Push one block; returns the count *after* the push (the caller
+    /// applies the spill hysteresis).
+    std::uint32_t push(void* p);
+    /// Splice a pre-linked chain of n blocks (head first) in O(1);
+    /// returns the count after the splice (spill-hysteresis input).
+    std::uint32_t push_chain(void* chain_head, void* chain_tail,
+                             std::uint32_t n);
+    /// Detach the whole chain; count is zeroed. Returns the old head.
+    void* pop_all();
+  };
+
+  Lane& lane(std::uint32_t arena, std::uint32_t cls) {
+    return lanes_[arena * kFixedLaneClasses + cls];
+  }
+  const Lane& lane(std::uint32_t arena, std::uint32_t cls) const {
+    return lanes_[arena * kFixedLaneClasses + cls];
+  }
+
+  /// In-kernel miss path: warp-mates that missed the same empty lane form
+  /// one coalesced group, the leader fetches one slab for everyone (plus
+  /// the stock-ahead surplus), and the members pop the freshly stocked
+  /// lane — one transaction and one warp sync per miss *group*, where the
+  /// per-block path below UAlloc would pay a sync per warp forever.
+  void* allocate_coalesced_miss(Lane& ln, std::uint32_t home_arena,
+                                std::uint32_t cls, gpu::ThreadCtx& ctx);
+
+  /// Solo miss path (host threads, singleton groups): refill under the
+  /// lane's single-refiller gate; a caller that finds the gate held falls
+  /// through to the ordinary single-block path.
+  void* gated_refill(Lane& ln, std::uint32_t home_arena, std::uint32_t cls);
+
+  /// Slab refill on a miss: fetch up to `max_batches` batches from UAlloc
+  /// (stopping at the low-water mark), keep one block for the caller,
+  /// splice the rest into `ln`. Coalesced-miss leaders pass 1 — a stampede
+  /// of concurrent leaders already multiplies the fetch, so each looping
+  /// to the target would overshoot the cap and churn the spill path.
+  void* refill(Lane& ln, std::uint32_t home_arena, std::uint32_t cls,
+               std::uint32_t max_batches = kFixedLaneRefillBatches);
+
+  /// Spill hysteresis: drain `ln` down to the low-water mark through the
+  /// free-publication path.
+  void spill(Lane& ln, std::uint32_t cls);
+
+  /// Return one cached block to the bin accounting (decode + free_slow).
+  void publish(void* p);
+
+  UAlloc* ua_;
+  std::uint32_t num_arenas_;
+  std::atomic<bool> on_;
+  std::vector<Lane> lanes_;  // num_arenas_ * kFixedLaneClasses
+
+  mutable std::atomic<std::uint64_t> st_hits_{0};
+  mutable std::atomic<std::uint64_t> st_misses_{0};
+  mutable std::atomic<std::uint64_t> st_refills_{0};
+  mutable std::atomic<std::uint64_t> st_refill_blocks_{0};
+  mutable std::atomic<std::uint64_t> st_topups_{0};
+  mutable std::atomic<std::uint64_t> st_spills_{0};
+  mutable std::atomic<std::uint64_t> st_spill_blocks_{0};
+  mutable std::atomic<std::uint64_t> st_flushes_{0};
+};
+
+}  // namespace toma::alloc

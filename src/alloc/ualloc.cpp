@@ -86,6 +86,37 @@ void* Arena::allocate_individual(std::uint32_t cls) {
   return p;
 }
 
+std::uint32_t Arena::allocate_batch(std::uint32_t cls, void** out,
+                                    std::uint32_t want) {
+  SizeClassState& cs = *classes_[cls];
+  const std::uint32_t cap = parent_->class_capacity(cls);
+  const std::uint32_t n = want < cap ? want : cap;
+  TOMA_DASSERT(n >= 1);
+
+  // One bulk-semaphore transaction for the whole slab — the same
+  // amortization the warp-coalesced path buys for a group, here bought
+  // for a FixedLane refill.
+  const auto res = cs.blocks.wait(n, cap);
+  if (res == sync::BulkSemaphore::WaitResult::kAcquired) {
+    TOMA_CTR_INC("ualloc.bin_hit");
+    claim_blocks(cls, n, out);
+    return n;
+  }
+  TOMA_CTR_INC("ualloc.bin_miss");
+  TOMA_TRACE("ualloc.grow_bin", cls);
+  // Grow once for the whole slab: one fresh bin, blocks 0..n-1 pre-taken.
+  BinHeader* bin = create_bin(cls, n);
+  if (bin == nullptr) {
+    cs.blocks.signal(0, cap - n);  // growth failed; let waiters re-decide
+    return 0;
+  }
+  for (std::uint32_t i = 0; i < n; ++i) {
+    out[i] = parent_->block_addr(bin, i);
+  }
+  parent_->st_allocs_.fetch_add(n, std::memory_order_relaxed);
+  return n;
+}
+
 void* Arena::allocate_coalesced(std::uint32_t cls, gpu::ThreadCtx& ctx) {
   SizeClassState& cs = *classes_[cls];
   const std::uint32_t cap = parent_->class_capacity(cls);
@@ -115,7 +146,11 @@ void* Arena::allocate_coalesced(std::uint32_t cls, gpu::ThreadCtx& ctx) {
     if (bin == nullptr) {
       cs.blocks.signal(0, cap - g.size());
       gpu::warp_broadcast(ctx, g, kFailed);
-      return nullptr;
+      // The group claim is all-or-nothing: at the exhaustion frontier the
+      // last (group size - 1) free blocks can never cover a full group,
+      // so every member re-probes individually — the pool's final blocks
+      // go to threads instead of stranding behind warp-sized demands.
+      return allocate_individual(cls);
     }
     parent_->st_allocs_.fetch_add(1, std::memory_order_relaxed);
     gpu::warp_broadcast(ctx, g, reinterpret_cast<std::uint64_t>(bin));
@@ -123,7 +158,7 @@ void* Arena::allocate_coalesced(std::uint32_t cls, gpu::ThreadCtx& ctx) {
   }
 
   const std::uint64_t v = gpu::warp_broadcast(ctx, g, 0);
-  if (v == kFailed) return nullptr;
+  if (v == kFailed) return allocate_individual(cls);  // frontier fallback
   if (v == kClaim) return claim_block(cls);
   auto* bin = reinterpret_cast<BinHeader*>(v);
   parent_->st_allocs_.fetch_add(1, std::memory_order_relaxed);
@@ -176,6 +211,54 @@ void* Arena::claim_block(std::uint32_t cls) {
     TOMA_CTR_INC("ualloc.list_retry");
     bo.pause();
   }
+}
+
+void Arena::claim_blocks(std::uint32_t cls, std::uint32_t n, void** out) {
+  SizeClassState& cs = *classes_[cls];
+  UAlloc& ua = *parent_;
+  std::uint32_t got = 0;
+  sync::Backoff bo;
+  while (got < n) {
+    std::vector<BinHeader*> exhausted;
+    const std::uint32_t got_before = got;
+    {
+      // Same stage-2 tracking walk as claim_block, but each successful
+      // free_count CAS reserves a whole span of bits at once.
+      sync::RcuReadGuard guard(rcu_);
+      for (sync::RcuListNode* node = cs.bins.reader_begin();
+           !cs.bins.is_end(node) && got < n;
+           node = sync::RcuList::reader_next(node)) {
+        BinHeader* bin = UAlloc::bin_of_node(node);
+        std::uint32_t fc = bin->free_count.load(std::memory_order_acquire);
+        while (fc > 0) {
+          const std::uint32_t take = fc < n - got ? fc : n - got;
+          if (bin->free_count.compare_exchange_weak(
+                  fc, fc - take, std::memory_order_acq_rel,
+                  std::memory_order_acquire)) {
+            util::AtomicBitmapRef bm = bin->bitmap();
+            for (std::uint32_t b = 0; b < take; ++b) {
+              std::uint32_t idx;
+              while ((idx = bm.claim_clear_bit(
+                          gpu::this_thread::scatter_seed())) ==
+                     util::AtomicBitmapRef::kNone) {
+                gpu::this_thread::yield();
+              }
+              out[got++] = ua.block_addr(bin, idx);
+            }
+            if (fc == take) exhausted.push_back(bin);
+            break;  // took everything this bin had (or all we needed)
+          }
+        }
+      }
+    }
+    for (BinHeader* bin : exhausted) ua.maybe_unlink_exhausted(bin);
+    if (got < n && got == got_before) {
+      ua.st_list_retries_.fetch_add(1, std::memory_order_relaxed);
+      TOMA_CTR_INC("ualloc.list_retry");
+      bo.pause();
+    }
+  }
+  ua.st_allocs_.fetch_add(n, std::memory_order_relaxed);
 }
 
 void* Arena::grow_bin(std::uint32_t cls) {
@@ -351,9 +434,36 @@ void* UAlloc::allocate_from(std::uint32_t home_arena, std::size_t size) {
   return nullptr;
 }
 
+std::uint32_t UAlloc::allocate_batch(std::uint32_t home_arena,
+                                     std::uint32_t cls, void** out,
+                                     std::uint32_t want) {
+  TOMA_DASSERT(cls < kNumSizeClasses);
+  TOMA_DASSERT(home_arena < arenas_.size());
+  std::uint32_t got = arenas_[home_arena]->allocate_batch(cls, out, want);
+  if (got != 0) return got;
+  // Same sibling sweep as allocate_from: a batch is refused only when the
+  // arena can neither claim nor grow, and another arena may still hold
+  // half-empty chunks.
+  for (std::uint32_t off = 1; off < arenas_.size(); ++off) {
+    const std::uint32_t a =
+        (home_arena + off) % static_cast<std::uint32_t>(arenas_.size());
+    got = arenas_[a]->allocate_batch(cls, out, want);
+    if (got != 0) {
+      st_arena_fallbacks_.fetch_add(1, std::memory_order_relaxed);
+      TOMA_CTR_INC("ualloc.arena_fallback");
+      return got;
+    }
+  }
+  return 0;
+}
+
 void UAlloc::free(void* p) {
   std::uint32_t idx;
   BinHeader* bin = decode(p, &idx);
+  free_decoded(bin, idx, p);
+}
+
+void UAlloc::free_decoded(BinHeader* bin, std::uint32_t idx, void* p) {
   st_frees_.fetch_add(1, std::memory_order_relaxed);
   if (magazines_enabled()) {
     // Cache into the *freeing* SM's arena (cheapest locality for the next

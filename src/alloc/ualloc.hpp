@@ -209,6 +209,15 @@ class Arena {
 
   void* allocate(std::uint32_t cls);
 
+  /// Claim up to `want` blocks of `cls` in ONE bulk-semaphore
+  /// transaction (the FixedLane slab refill). Returns the number of
+  /// blocks written to `out` — `min(want, capacity)` on success, 0 when
+  /// this arena is out of memory. Either a batched claim over the listed
+  /// bins or one freshly grown bin whose first `want` slots become the
+  /// slab.
+  std::uint32_t allocate_batch(std::uint32_t cls, void** out,
+                               std::uint32_t want);
+
   UAlloc& parent() { return *parent_; }
   std::uint32_t index() const { return index_; }
   sync::SrcuDomain& rcu() { return rcu_; }
@@ -235,6 +244,12 @@ class Arena {
   /// Claim one block from a listed bin of class `cls` (caller holds a
   /// semaphore unit, so a block is guaranteed to exist eventually).
   void* claim_block(std::uint32_t cls);
+
+  /// Claim `n` blocks from listed bins of `cls` (caller holds `n`
+  /// semaphore units). Writes block addresses to `out`; like claim_block
+  /// this only returns once all n are claimed (the units guarantee
+  /// eventual success).
+  void claim_blocks(std::uint32_t cls, std::uint32_t n, void** out);
 
   /// Build a new bin for `cls` (grow path); returns the first block or
   /// nullptr on pool exhaustion. On success the bin is listed and the
@@ -307,6 +322,25 @@ class UAlloc {
   /// Free a block previously returned by allocate (any thread).
   void free(void* p);
 
+  /// Claim up to `want` blocks of class `cls` in one bulk transaction,
+  /// preferring `home_arena` and sweeping the other arenas on OOM (the
+  /// same fallback discipline as allocate_from). Returns the number of
+  /// blocks written to `out`, 0 when every arena is exhausted. All blocks
+  /// of one call come from one arena.
+  std::uint32_t allocate_batch(std::uint32_t home_arena, std::uint32_t cls,
+                               void** out, std::uint32_t want);
+
+  /// Reverse-map `p` to its owning bin and block index (the free()
+  /// decode, exposed so GpuAllocator can decode once and route between
+  /// the fixed lane and free_decoded).
+  BinHeader* decode_block(void* p, std::uint32_t* block_idx) const {
+    return decode(p, block_idx);
+  }
+
+  /// The tail of free(): `p` already decoded to (bin, idx). Magazine
+  /// push first, slow publication otherwise.
+  void free_decoded(BinHeader* bin, std::uint32_t idx, void* p);
+
   /// Byte size of the block containing `p` (its size class).
   std::size_t usable_size(void* p) const;
 
@@ -362,6 +396,9 @@ class UAlloc {
 
  private:
   friend class Arena;
+  // FixedLane republishes cached blocks via free_slow and keeps the
+  // alloc/free statistics boundary-symmetric (see fixed_lane.cpp).
+  friend class FixedLane;
 
   // --- bin lifecycle (cold paths) -----------------------------------------
   /// The paper's free path: clear the bitmap bit of block `idx` and

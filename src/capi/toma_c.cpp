@@ -61,6 +61,7 @@ HeapConfig to_cpp(const toma_pool_config_t& c) {
   apply_toggle(cfg.heapsan, c.heapsan);
   apply_toggle(cfg.magazines, c.magazines);
   apply_toggle(cfg.quicklist, c.quicklist);
+  apply_toggle(cfg.fixed_lane, c.fixed_lane);
   cfg.slo_latency_ns = c.slo_latency_ns;
   return cfg;
 }
@@ -99,6 +100,7 @@ toma_pool_config_t toma_pool_config_default(void) {
   c.quicklist = -1;
   c.stream_async = -1;
   c.slo_latency_ns = defaults.slo_latency_ns;
+  c.fixed_lane = -1;
   return c;
 }
 

@@ -166,9 +166,10 @@ TEST(Pool, ReleaseThresholdTrimsAtSync) {
   pool.set_async(true);  // deferral is required; don't rely on build default
   gpu::Stream s;
 
-  // Churn enough 64 B blocks to strand whole chunks in the UAlloc caches.
+  // Churn enough 128 B blocks to strand whole chunks in the UAlloc caches
+  // (above the fixed-lane threshold, so the frees actually defer).
   std::vector<void*> held;
-  for (int i = 0; i < 2000; ++i) held.push_back(pool.malloc(64));
+  for (int i = 0; i < 2000; ++i) held.push_back(pool.malloc(128));
   for (void* p : held) pool.free_async(p, s);
   EXPECT_GT(pool.stats().stream.pending, 0u);
 

@@ -67,12 +67,12 @@ TEST(StreamAsync, ReuseRequiresExactCapacity) {
   Pool pool("sa-exact", small_cfg());
   pool.set_async(true);
   gpu::Stream s;
-  void* p = pool.malloc(64);
+  void* p = pool.malloc(128);
   ASSERT_NE(p, nullptr);
   pool.free_async(p, s);
 
   // A different size class cannot take the pending block.
-  void* q = pool.malloc_async(128, s);
+  void* q = pool.malloc_async(256, s);
   EXPECT_NE(q, p);
   ASSERT_NE(q, nullptr);
   EXPECT_GE(pool.stats().stream.reuse_misses, 1u);
@@ -126,7 +126,7 @@ TEST(StreamAsync, OverflowCapForcesInlineDrain) {
   std::vector<void*> held;
   held.reserve(kStreamPendingCap);
   for (std::uint32_t i = 0; i < kStreamPendingCap; ++i) {
-    void* p = pool.malloc(8);
+    void* p = pool.malloc(128);  // above the fixed-lane threshold: defers
     ASSERT_NE(p, nullptr);
     held.push_back(p);
   }
@@ -193,7 +193,7 @@ TEST(StreamAsync, TrimDrainsPendingFirst) {
   Pool pool("sa-trim", small_cfg());
   pool.set_async(true);
   gpu::Stream s;
-  void* p = pool.malloc(64);
+  void* p = pool.malloc(128);
   pool.free_async(p, s);
   pool.trim();
   EXPECT_EQ(pool.stats().stream.pending, 0u);
@@ -204,7 +204,7 @@ TEST(StreamAsync, ReleaseStreamForgetsSlot) {
   Pool pool("sa-release", small_cfg());
   pool.set_async(true);
   gpu::Stream s;
-  void* p = pool.malloc(64);
+  void* p = pool.malloc(128);
   pool.free_async(p, s);
   EXPECT_EQ(pool.release_stream(s), 1u);
   EXPECT_EQ(pool.stats().stream.pending, 0u);
@@ -216,13 +216,54 @@ TEST(StreamAsync, DrainBatchesAreCounted) {
   pool.set_async(true);
   gpu::Stream s;
   std::vector<void*> held;
-  for (int i = 0; i < 100; ++i) held.push_back(pool.malloc(32));
+  for (int i = 0; i < 100; ++i) held.push_back(pool.malloc(128));
   for (void* p : held) pool.free_async(p, s);
   pool.sync(s);
   const StreamFrontEndStats st = pool.stats().stream;
   EXPECT_EQ(st.deferred, 100u);
   EXPECT_EQ(st.drained, 100u);
   EXPECT_EQ(st.drain_batches, 1u);  // one batch, one grace-period cluster
+}
+
+TEST(StreamAsync, SmallFreesRouteThroughLaneNotPendingList) {
+  Pool pool("sa-lane", small_cfg());
+  pool.set_async(true);
+  pool.allocator().set_fixed_lane(true);
+  gpu::Stream s;
+  void* p = pool.malloc(16);
+  ASSERT_NE(p, nullptr);
+
+  // Lane-served sizes bypass the per-(pool, stream) pending machinery:
+  // the free completes immediately and the block lands on the lane.
+  pool.free_async(p, s);
+  EXPECT_EQ(pool.stats().stream.pending, 0u);
+  EXPECT_EQ(pool.bytes_in_use(), 0u);
+  EXPECT_TRUE(s.idle());
+  EXPECT_GE(pool.stats().alloc.lane.cached, 1u);
+
+  // The next small malloc_async picks the block up from the lane in O(1)
+  // — same recycling the pending scan provided, without the scan.
+  void* q = pool.malloc_async(16, s);
+  EXPECT_EQ(q, p);
+  EXPECT_EQ(pool.stats().stream.reuse_hits, 0u);
+  EXPECT_GE(pool.stats().alloc.lane.hits, 1u);
+  pool.free(q);
+  pool.sync(s);
+  EXPECT_TRUE(pool.check_consistency());
+}
+
+TEST(StreamAsync, LaneOffRestoresPendingDeferral) {
+  Pool pool("sa-lane-off", small_cfg());
+  pool.set_async(true);
+  pool.allocator().set_fixed_lane(false);
+  gpu::Stream s;
+  void* p = pool.malloc(16);
+  ASSERT_NE(p, nullptr);
+  pool.free_async(p, s);
+  // Without the lane, small frees defer exactly as before.
+  EXPECT_EQ(pool.stats().stream.pending, 1u);
+  EXPECT_EQ(pool.sync(s), 1u);
+  EXPECT_TRUE(pool.check_consistency());
 }
 
 TEST(StreamAsync, KernelChurnWithPerWarpStreams) {

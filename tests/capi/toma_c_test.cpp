@@ -158,8 +158,9 @@ TEST(TomaC, StreamOrderedAllocAndSync) {
   EXPECT_EQ(toma_pool_sync(pool, s), 1u);
   EXPECT_EQ(toma_pool_bytes_in_use(pool), 0u);
 
-  // stream_sync drains the stream across every pool.
-  void* r = toma_malloc_async(pool, 64, s, nullptr);
+  // stream_sync drains the stream across every pool (128 B: above the
+  // fixed-lane threshold, so the free actually defers).
+  void* r = toma_malloc_async(pool, 128, s, nullptr);
   toma_free_async(pool, r, s);
   EXPECT_EQ(toma_stream_sync(s), 1u);
 

@@ -95,12 +95,21 @@ TEST(HostStress, CrossThreadFreeMailboxes) {
   const auto st = ga.stats();
   EXPECT_EQ(st.mallocs, st.frees + st.failed_mallocs);
   if (ga.ualloc().magazines_enabled()) {
-    const std::size_t flushed = ga.release_cached();
-    const auto after = ga.stats().ualloc;
+    // Flush the two caches separately so each flush count can be checked
+    // against its own layer's accounting.
+    ga.fixed_lane().flush();
+    const std::size_t flushed = ga.ualloc().release_cached();
+    const auto after_all = ga.stats();
+    const auto& after = after_all.ualloc;
     EXPECT_EQ(after.magazine_cached, 0u);
+    EXPECT_EQ(after_all.lane.cached, 0u);
     EXPECT_EQ(after.magazine_flushes,
               st.ualloc.magazine_flushes + flushed);
-    EXPECT_EQ(after.frees - after.magazine_spills,
+    // Lane spill/flush publications bump UAlloc frees without touching a
+    // magazine; subtract them from the magazine balance.
+    const std::uint64_t lane_published =
+        after_all.lane.spill_blocks + after_all.lane.flushes;
+    EXPECT_EQ(after.frees - after.magazine_spills - lane_published,
               after.magazine_hits + after.magazine_flushes);
   }
   ga.trim();
@@ -199,6 +208,45 @@ TEST(HostStress, QuicklistToggleRace) {
   buddy.trim();
   EXPECT_EQ(buddy.free_bytes(), kPool);
   EXPECT_EQ(buddy.largest_free_block(), kPool);
+}
+
+TEST(HostStress, FixedLaneToggleRace) {
+  // Flip the fixed lane while other threads churn lane-served sizes: the
+  // toggle's disable path flush()es concurrently with pushes, pops, and
+  // slab refills, so TSan watches the lane lock protocol and the
+  // claimed-while-cached handoff under preemptive threads.
+  alloc::GpuAllocator ga(16 * 1024 * 1024, /*num_arenas=*/2);
+  std::atomic<bool> stop{false};
+  test::run_os_threads(5, [&](unsigned tid) {
+    if (tid == 0) {  // toggler
+      for (int i = 0; i < 200; ++i) {
+        ga.set_fixed_lane(i % 2 == 0);
+        std::this_thread::yield();
+      }
+      ga.set_fixed_lane(true);
+      stop.store(true, std::memory_order_release);
+      return;
+    }
+    util::Xorshift rng(tid * 131 + 7);
+    std::vector<void*> held;
+    while (!stop.load(std::memory_order_acquire)) {
+      if (!held.empty() && (rng.next() & 1)) {
+        ga.free(held.back());
+        held.pop_back();
+      } else {
+        // Lane-served sizes only (8..64 B) so every op contends the lane.
+        const std::size_t size = std::size_t{8} << rng.next_below(4);
+        if (void* p = ga.malloc(size)) held.push_back(p);
+      }
+    }
+    for (void* p : held) ga.free(p);
+  });
+  EXPECT_TRUE(ga.check_consistency());
+  ga.trim();
+  EXPECT_EQ(ga.stats().lane.cached, 0u);
+  EXPECT_EQ(ga.buddy().largest_free_block(), ga.pool_bytes());
+  const auto st = ga.stats();
+  EXPECT_EQ(st.mallocs, st.frees + st.failed_mallocs);
 }
 
 TEST(HostStress, MagazineToggleRace) {

@@ -68,10 +68,15 @@ TEST(Stress, ManyWavesMixedSizes) {
   if (ga.ualloc().magazines_enabled()) {
     // trim() flushed the magazines, so every UAlloc free is now accounted
     // for: it either spilled past a full magazine, was re-issued by a pop
-    // (hit), or was evicted by the flush. Nothing may still be cached.
+    // (hit), or was evicted by the flush — or it was a fixed-lane spill/
+    // flush publication, which bumps UAlloc frees without ever touching a
+    // magazine. Nothing may still be cached.
     const auto& us = st.ualloc;
+    const std::uint64_t lane_published =
+        st.lane.spill_blocks + st.lane.flushes;
     EXPECT_EQ(us.magazine_cached, 0u);
-    EXPECT_EQ(us.frees - us.magazine_spills,
+    EXPECT_EQ(st.lane.cached, 0u);  // trim() drains the lanes too
+    EXPECT_EQ(us.frees - us.magazine_spills - lane_published,
               us.magazine_hits + us.magazine_flushes)
         << "magazine accounting leaked a block";
   }
@@ -95,6 +100,12 @@ TEST(Stress, ManyWavesMixedSizes) {
   EXPECT_EQ(ctr("ualloc.magazine.miss"), st.ualloc.magazine_misses);
   EXPECT_EQ(ctr("ualloc.magazine.spill"), st.ualloc.magazine_spills);
   EXPECT_EQ(ctr("ualloc.magazine.flush"), st.ualloc.magazine_flushes);
+  EXPECT_EQ(ctr("ualloc.lane.hit"), st.lane.hits);
+  EXPECT_EQ(ctr("ualloc.lane.miss"), st.lane.misses);
+  EXPECT_EQ(ctr("ualloc.lane.refill"), st.lane.refills);
+  EXPECT_EQ(ctr("ualloc.lane.refill_blocks"), st.lane.refill_blocks);
+  EXPECT_EQ(ctr("ualloc.lane.spill_blocks"), st.lane.spill_blocks);
+  EXPECT_EQ(ctr("ualloc.lane.flush"), st.lane.flushes);
   // Every malloc attempt records one latency sample in some size class.
   std::uint64_t hist_samples = 0;
   for (const auto& [name, h] : obs_delta.histograms) {

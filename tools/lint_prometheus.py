@@ -10,7 +10,11 @@ Fails (exit 1) on:
     samples with no preceding # TYPE)
   * non-numeric sample values
 
-Usage: lint_prometheus.py FILE [FILE...]
+With --require=PREFIX (repeatable), additionally fails unless at least one
+sampled metric starts with each PREFIX — CI uses this to prove a subsystem
+(e.g. the fixed-lane counters, toma_ualloc_lane_*) actually exported.
+
+Usage: lint_prometheus.py [--require=PREFIX ...] FILE [FILE...]
 """
 
 import re
@@ -37,7 +41,7 @@ def is_number(s: str) -> bool:
         return False
 
 
-def lint(path: str) -> int:
+def lint(path: str, require=()) -> int:
     errors = 0
 
     def err(lineno, msg):
@@ -125,6 +129,12 @@ def lint(path: str) -> int:
         if name not in sampled:
             err(lineno, f"# TYPE {name} declared but no samples follow")
 
+    all_names = {name for name, _ in seen_series}
+    for prefix in require:
+        if not any(n.startswith(prefix) for n in all_names):
+            err(0, f"no sampled metric starts with required prefix "
+                   f"{prefix!r}")
+
     if errors == 0:
         print(f"{path}: OK ({len(seen_series)} series, "
               f"{len(typed)} metrics)")
@@ -132,10 +142,17 @@ def lint(path: str) -> int:
 
 
 def main() -> int:
-    if len(sys.argv) < 2:
+    require = []
+    files = []
+    for arg in sys.argv[1:]:
+        if arg.startswith("--require="):
+            require.append(arg[len("--require="):])
+        else:
+            files.append(arg)
+    if not files:
         print(__doc__, file=sys.stderr)
         return 2
-    total = sum(lint(p) for p in sys.argv[1:])
+    total = sum(lint(p, require) for p in files)
     return 1 if total else 0
 
 
